@@ -1,0 +1,77 @@
+"""E13 — ablation: library-side caching of orchestrator queries.
+
+The paper's library "keeps pulling the newest container location
+information from the network orchestrator" — a per-connection RPC.  This
+ablation sweeps the orchestrator RPC latency and toggles the library
+cache, measuring connection-setup cost and the query load on the
+(conceptually centralized) orchestrator — the control-plane scalability
+story behind the design.
+"""
+
+import pytest
+
+from repro import ContainerSpec
+from repro.core import FreeFlowNetwork
+
+from common import fmt_table, record, make_testbed
+
+RPC_LATENCIES_US = (20, 50, 200)
+CONNECTIONS = 50
+
+
+def _setup_cost(cache_ttl_s: float, rpc_latency_s: float):
+    env, cluster, network_unused = make_testbed(hosts=2)
+    network = FreeFlowNetwork(
+        cluster, cache_ttl_s=cache_ttl_s, query_latency_s=rpc_latency_s
+    )
+    a = cluster.submit(ContainerSpec("a", pinned_host="host0"))
+    b = cluster.submit(ContainerSpec("b", pinned_host="host1"))
+    network.attach(a)
+    network.attach(b)
+
+    times = []
+
+    def connect_many():
+        for _ in range(CONNECTIONS):
+            started = env.now
+            yield from network.connect_containers("a", "b")
+            times.append(env.now - started)
+
+    env.run(until=env.process(connect_many()))
+    mean_us = sum(times) / len(times) * 1e6
+    return mean_us, network.orchestrator.queries_served
+
+
+def test_orchestrator_query_caching(benchmark):
+    rows = []
+
+    def run():
+        for rpc_us in RPC_LATENCIES_US:
+            cold_us, cold_queries = _setup_cost(0.0, rpc_us * 1e-6)
+            warm_us, warm_queries = _setup_cost(1.0, rpc_us * 1e-6)
+            rows.append([f"{rpc_us} us", cold_us, cold_queries,
+                         warm_us, warm_queries])
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record(
+        "E13", "ablation — orchestrator query caching "
+               f"({CONNECTIONS} connections per cell)",
+        fmt_table(
+            ["RPC latency", "no-cache setup us", "queries",
+             "cached setup us", "queries"],
+            rows,
+        ),
+        "without the cache every connection pays a control-plane round "
+        "trip and the central orchestrator serves O(connections) queries",
+    )
+
+    for row in rows:
+        __, cold_us, cold_queries, warm_us, warm_queries = row
+        assert cold_queries == CONNECTIONS
+        assert warm_queries == 1
+        assert warm_us < cold_us
+    # Setup cost scales with RPC latency only in the uncached case.
+    assert rows[-1][1] > rows[0][1] * 2
+    assert rows[-1][3] < rows[0][1]

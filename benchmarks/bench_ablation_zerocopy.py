@@ -1,0 +1,79 @@
+"""E14 — ablation: zero-copy agent hand-off vs a copying router.
+
+Paper §3.2, challenge 2: "overlay routers should connect the
+shared-memory channel with local containers and the kernel bypassing
+channel between physical NICs to avoid overhead caused by memory
+copying."  This ablation runs the same inter-host FreeFlow path with the
+zero-copy hand-off on and off, at 1 and 4 concurrent pairs: the copying
+router burns extra cores and memory-bus bandwidth, and under multi-pair
+load that CPU pressure costs real throughput.
+"""
+
+import pytest
+
+from repro import ContainerSpec
+from repro.core import FreeFlowNetwork
+
+from common import fmt_table, record, stream, make_testbed
+
+
+def _run(zero_copy: bool, pairs: int):
+    env, cluster, __ = make_testbed(hosts=2)
+    network = FreeFlowNetwork(cluster, zero_copy=zero_copy)
+    hosts = [cluster.host("host0"), cluster.host("host1")]
+    connections = []
+
+    def wire():
+        for i in range(pairs):
+            a = cluster.submit(ContainerSpec(f"a{i}", pinned_host="host0"))
+            b = cluster.submit(ContainerSpec(f"b{i}", pinned_host="host1"))
+            network.attach(a)
+            network.attach(b)
+            connection = yield from network.connect_containers(
+                f"a{i}", f"b{i}"
+            )
+            connections.append(connection)
+
+    env.run(until=env.process(wire()))
+    result = stream(
+        env, None, hosts, duration_s=0.03,
+        pairs=[(c.a, c.b) for c in connections],
+    )
+    copies = sum(
+        agent.stats.relay_copies for agent in network._agents.values()
+    )
+    membus = max(result.membus_util.values())
+    return result.gbps, result.total_cpu_percent, copies, membus
+
+
+def test_zero_copy_handoff(benchmark):
+    rows = []
+
+    def run():
+        for pairs in (1, 4):
+            for zero_copy in (True, False):
+                gbps, cpu, copies, membus = _run(zero_copy, pairs)
+                rows.append([
+                    pairs, "zero-copy" if zero_copy else "copying",
+                    gbps, cpu, copies, 100 * membus,
+                ])
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record(
+        "E14", "ablation — agent hand-off: zero-copy vs copying router",
+        fmt_table(
+            ["pairs", "hand-off", "Gb/s", "CPU %", "agent copies",
+             "membus %"],
+            rows,
+        ),
+        "the copying router pays a memcpy per message per side: more "
+        "CPU and memory-bus traffic for the same (or worse) throughput",
+    )
+
+    one_zero, one_copy, four_zero, four_copy = rows
+    assert one_zero[4] == 0 and one_copy[4] > 0
+    assert one_copy[3] > one_zero[3] * 1.5        # CPU cost of copies
+    assert one_copy[5] > one_zero[5]              # extra membus traffic
+    assert four_zero[2] >= four_copy[2] * 0.99    # never slower

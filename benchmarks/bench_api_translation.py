@@ -1,0 +1,158 @@
+"""E16 — the network-abstraction tax: socket/MPI over verbs vs raw.
+
+Paper §4.2 picks verbs as the single data-transfer abstraction and
+translates the socket and MPI APIs onto it.  This bench quantifies the
+translation cost: the same co-located and cross-host byte streams pushed
+through (1) a raw FreeFlow channel, (2) verbs SEND/RECV on the vNIC,
+(3) the socket layer, and an MPI point-to-point exchange — so the cost
+of each added layer is visible and bounded.
+"""
+
+import itertools
+
+import pytest
+
+from repro import ContainerSpec
+from repro.core import Communicator, Opcode, SocketLayer, WorkRequest
+
+from common import deploy_pair, fmt_table, freeflow_connect, record, stream, make_testbed
+
+MESSAGE = 1 << 20
+DURATION = 0.02
+
+
+def _raw_channel(intra: bool):
+    env, cluster, network = make_testbed(hosts=2)
+    deploy_pair(cluster, network, "host0", "host0" if intra else "host1")
+    connection = freeflow_connect(env, network, "a", "b")
+    hosts = list(cluster.hosts)
+    return stream(env, connection, hosts, duration_s=DURATION,
+                  message_bytes=MESSAGE).gbps
+
+
+def _verbs(intra: bool):
+    env, cluster, network = make_testbed(hosts=2)
+    deploy_pair(cluster, network, "host0", "host0" if intra else "host1")
+    va, vb = network.vnic("a"), network.vnic("b")
+    pa, pb = va.alloc_pd(), vb.alloc_pd()
+    qa = va.create_qp(pa, va.create_cq(), va.create_cq(),
+                      max_send_wr=1024)
+    qb = vb.create_qp(pb, vb.create_cq(), vb.create_cq())
+    mr_b = vb.reg_mr(pb, MESSAGE)
+
+    def connect():
+        yield from network.connect(qa, qb)
+
+    env.run(until=env.process(connect()))
+    stop_at = env.now + DURATION
+    delivered = {"bytes": 0}
+
+    def sender():
+        while env.now < stop_at:
+            yield from qa.post_send(WorkRequest(
+                opcode=Opcode.SEND, length=MESSAGE, signaled=False,
+            ))
+
+    def receiver():
+        while True:
+            qb.post_recv(WorkRequest(opcode=Opcode.RECV, length=MESSAGE,
+                                     local_mr=mr_b))
+            wc = yield from qb.recv_cq.wait()
+            delivered["bytes"] += wc.byte_len
+
+    env.process(sender())
+    env.process(receiver())
+    env.run(until=stop_at)
+    return delivered["bytes"] * 8 / DURATION / 1e9
+
+
+def _sockets(intra: bool):
+    env, cluster, network = make_testbed(hosts=2)
+    a, b = deploy_pair(cluster, network, "host0",
+                       "host0" if intra else "host1")
+    layer = SocketLayer(network)
+    listener = layer.listen(b, 7000)
+    stop_at_box = {}
+    delivered = {"bytes": 0}
+
+    def server():
+        sock = yield from listener.accept()
+        while True:
+            n, __ = yield from sock.recv(MESSAGE)
+            delivered["bytes"] += n
+
+    def client():
+        sock = layer.socket(a)
+        yield from sock.connect(b.ip, 7000)
+        stop_at_box["t"] = env.now + DURATION
+        while env.now < stop_at_box["t"]:
+            yield from sock.send(MESSAGE)
+
+    env.process(server())
+    done = env.process(client())
+    env.run(until=done)
+    return delivered["bytes"] * 8 / DURATION / 1e9
+
+
+def _mpi(intra: bool):
+    env, cluster, network = make_testbed(hosts=2)
+    a, b = deploy_pair(cluster, network, "host0",
+                       "host0" if intra else "host1")
+    comm = Communicator(network, [a, b])
+    delivered = {"bytes": 0}
+    stop_box = {}
+
+    def rank0():
+        endpoint = comm.endpoint(0)
+        stop_box["t"] = env.now + DURATION
+        while env.now < stop_box["t"]:
+            yield from endpoint.send(1, MESSAGE)
+
+    def rank1():
+        endpoint = comm.endpoint(1)
+        while True:
+            nbytes, __ = yield from endpoint.recv(0)
+            if env.now <= stop_box.get("t", float("inf")):
+                delivered["bytes"] += nbytes
+
+    env.process(rank0())
+    env.process(rank1())
+    env.run(until=env.now + DURATION + 1e-6)
+    return delivered["bytes"] * 8 / DURATION / 1e9
+
+
+def test_api_translation_tax(benchmark):
+    results = {}
+
+    def run():
+        for intra in (True, False):
+            where = "intra" if intra else "inter"
+            results[(where, "raw channel")] = _raw_channel(intra)
+            results[(where, "verbs send/recv")] = _verbs(intra)
+            results[(where, "sockets-over-verbs")] = _sockets(intra)
+            results[(where, "mpi-over-verbs")] = _mpi(intra)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    layers = ["raw channel", "verbs send/recv", "sockets-over-verbs",
+              "mpi-over-verbs"]
+    record(
+        "E16", "API translation tax — throughput by layer (Gb/s)",
+        fmt_table(
+            ["layer", "intra-host", "inter-host"],
+            [[layer, results[("intra", layer)], results[("inter", layer)]]
+             for layer in layers],
+        ),
+        "each layer adds bounded overhead; translated APIs keep most of "
+        "the underlying mechanism's throughput (the paper's backward-"
+        "compatibility requirement)",
+    )
+
+    for where in ("intra", "inter"):
+        raw = results[(where, "raw channel")]
+        for layer in layers[1:]:
+            # Every translated API keeps at least 60 % of raw throughput.
+            assert results[(where, layer)] > 0.6 * raw, (
+                where, layer, results[(where, layer)], raw
+            )

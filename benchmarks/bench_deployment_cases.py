@@ -1,0 +1,114 @@
+"""E11 — Fig. 2 deployment cases + the constraint matrix (Table 1).
+
+Four representative environments: (a) containers on one bare-metal
+host, (b) on two bare-metal hosts, (c) in one VM / co-located VMs,
+(d) in VMs on two hosts — crossed with the paper's constraint rows
+(no constraint / without trust / without RDMA NICs).  For each cell the
+policy's choice is recorded and the chosen channel is actually driven,
+so the matrix is measured rather than asserted.
+"""
+
+import pytest
+
+from repro import ContainerSpec
+from repro.cluster import ClusterOrchestrator
+from repro.core import FreeFlowNetwork, PolicyConfig
+from repro.hardware import Fabric, Host, NO_RDMA_TESTBED, VirtualMachine
+from repro.sim import Environment
+from repro.transports import Mechanism
+
+from common import fmt_table, freeflow_connect, record, stream
+
+
+def _build_case(case: str, constraint: str):
+    env = Environment()
+    fabric = Fabric(env)
+    spec = NO_RDMA_TESTBED if constraint == "w/o RDMA NIC" else None
+    cluster = ClusterOrchestrator(env)
+    h1 = Host(env, "h1", spec=spec, fabric=fabric)
+    h2 = Host(env, "h2", spec=spec, fabric=fabric)
+    cluster.add_host(h1)
+    cluster.add_host(h2)
+
+    placements = {
+        "(a) same host": ("h1", "h1"),
+        "(b) two hosts": ("h1", "h2"),
+        "(c) same VM": ("vm0", "vm0"),
+        "(d) VMs, two hosts": ("vm0", "vm1"),
+    }
+    if case in ("(c) same VM", "(d) VMs, two hosts"):
+        vm0 = VirtualMachine(h1, "vm0")
+        cluster.add_vm(vm0)
+        if case == "(d) VMs, two hosts":
+            cluster.add_vm(VirtualMachine(h2, "vm1"))
+
+    tenants = ("blue", "red") if constraint == "w/o trust" else ("t", "t")
+    network = FreeFlowNetwork(cluster)
+    loc_a, loc_b = placements[case]
+    a = cluster.submit(ContainerSpec("a", tenant=tenants[0],
+                                     pinned_host=loc_a))
+    b = cluster.submit(ContainerSpec("b", tenant=tenants[1],
+                                     pinned_host=loc_b))
+    network.attach(a)
+    network.attach(b)
+    return env, network, [h1, h2]
+
+
+CASES = ("(a) same host", "(b) two hosts", "(c) same VM",
+         "(d) VMs, two hosts")
+CONSTRAINTS = ("none", "w/o trust", "w/o RDMA NIC")
+
+#: Paper Table 1, translated to this library's mechanisms.
+EXPECTED = {
+    ("(a) same host", "none"): Mechanism.SHM,
+    ("(b) two hosts", "none"): Mechanism.RDMA,
+    ("(c) same VM", "none"): Mechanism.SHM,
+    ("(d) VMs, two hosts", "none"): Mechanism.RDMA,
+    ("(a) same host", "w/o trust"): Mechanism.TCP,
+    ("(b) two hosts", "w/o trust"): Mechanism.TCP,
+    ("(c) same VM", "w/o trust"): Mechanism.TCP,
+    ("(d) VMs, two hosts", "w/o trust"): Mechanism.TCP,
+    ("(a) same host", "w/o RDMA NIC"): Mechanism.SHM,
+    ("(b) two hosts", "w/o RDMA NIC"): Mechanism.TCP,
+    ("(c) same VM", "w/o RDMA NIC"): Mechanism.SHM,
+    ("(d) VMs, two hosts", "w/o RDMA NIC"): Mechanism.TCP,
+}
+
+
+def test_deployment_case_matrix(benchmark):
+    chosen = {}
+    measured = {}
+
+    def run():
+        for case in CASES:
+            for constraint in CONSTRAINTS:
+                env, network, hosts = _build_case(case, constraint)
+                connection = freeflow_connect(env, network, "a", "b")
+                chosen[(case, constraint)] = connection.mechanism
+                result = stream(env, connection, hosts, duration_s=0.01)
+                measured[(case, constraint)] = result.gbps
+        return chosen
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record(
+        "E11", "Fig. 2 / Table 1 — best mechanism per deployment case",
+        fmt_table(
+            ["case", *CONSTRAINTS],
+            [[case] + [
+                f"{chosen[(case, c)].value}:{measured[(case, c)]:.0f}G"
+                for c in CONSTRAINTS
+            ] for case in CASES],
+        ),
+        "cells are mechanism:measured-Gb/s; matches the paper's "
+        "commented Table 1 exactly",
+    )
+
+    for key, expected_mechanism in EXPECTED.items():
+        assert chosen[key] is expected_mechanism, (
+            f"{key}: expected {expected_mechanism}, got {chosen[key]}"
+        )
+    # Sanity: the shm cells are dramatically faster than the TCP cells.
+    assert measured[("(a) same host", "none")] > 1.8 * measured[
+        ("(a) same host", "w/o trust")
+    ]

@@ -1,0 +1,63 @@
+"""E8 — §2.2: existing container-networking solutions, measured.
+
+"Docker-host is in host mode; Docker0 is in bridge mode; Weave is in
+overlay mode" (the commented eval_exist_* figures).  Conclusions the
+paper draws, which must hold here:
+
+* intra-host throughput of every existing solution is < 40 Gb/s;
+* host mode is close to plain processes (kernel loopback);
+* all of them put a heavy load on the CPU — CPU is the bottleneck.
+"""
+
+import pytest
+
+from repro import ContainerSpec
+from repro.baselines import (
+    BridgeModeNetwork,
+    HostModeNetwork,
+    OverlayModeNetwork,
+)
+
+from common import fmt_table, pingpong, record, stream, make_testbed
+
+
+def _solution(kind: str):
+    env, cluster, network = make_testbed(hosts=1)
+    host = cluster.host("host0")
+    a = cluster.submit(ContainerSpec("a", pinned_host="host0"))
+    b = cluster.submit(ContainerSpec("b", pinned_host="host0"))
+    channel = {
+        "docker-host": lambda: HostModeNetwork(env).connect(a, b, 1, 2),
+        "docker0 (bridge)": lambda: BridgeModeNetwork(env).connect(a, b),
+        "weave (overlay)": lambda: OverlayModeNetwork(env).connect(a, b),
+    }[kind]()
+    result = stream(env, channel, [host], duration_s=0.04)
+    latency = pingpong(env, channel)
+    return result.gbps, latency.mean_us(), result.total_cpu_percent
+
+
+def test_existing_solutions(benchmark):
+    rows = {}
+
+    def run():
+        for kind in ("docker-host", "docker0 (bridge)", "weave (overlay)"):
+            rows[kind] = _solution(kind)
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record(
+        "E8", "eval_exist_* — existing solutions: bw / latency / cpu",
+        fmt_table(
+            ["solution", "Gb/s", "latency us", "CPU %"],
+            [[k, *v] for k, v in rows.items()],
+        ),
+        "paper conclusions: all < 40 Gb/s intra-host; heavy CPU load; "
+        "CPU is the throughput bottleneck",
+    )
+
+    for kind, (gbps, __, cpu) in rows.items():
+        assert gbps < 40, f"{kind} must stay below 40 Gb/s intra-host"
+        assert cpu > 150, f"{kind} must be CPU-hungry"
+    assert rows["docker-host"][0] > rows["docker0 (bridge)"][0]
+    assert rows["docker0 (bridge)"][0] > rows["weave (overlay)"][0]

@@ -1,0 +1,61 @@
+"""E1 — Paper Fig. 1: host mode vs overlay mode vs shared-memory IPC.
+
+"Figure 1 is a telling demonstration of the fundamental tussle between
+portability, isolation, and performance": both kernel modes lose badly
+to shared-memory IPC, and overlay loses to host mode because traffic
+hairpins through the software router as well.
+"""
+
+import pytest
+
+from repro import ContainerSpec
+from repro.baselines import HostModeNetwork, OverlayModeNetwork, ShmIpcNetwork
+
+from common import fmt_table, pingpong, record, stream, make_testbed
+
+
+def _measure(mode: str):
+    env, cluster, network = make_testbed(hosts=1)
+    host = cluster.host("host0")
+    a = cluster.submit(ContainerSpec("a", pinned_host="host0"))
+    b = cluster.submit(ContainerSpec("b", pinned_host="host0"))
+    if mode == "host":
+        channel = HostModeNetwork(env).connect(a, b, 5000, 5001)
+    elif mode == "overlay":
+        channel = OverlayModeNetwork(env).connect(a, b)
+    else:
+        channel = ShmIpcNetwork().connect(a, b)
+    result = stream(env, channel, [host])
+    latency = pingpong(env, channel)
+    return result.gbps, latency.mean_us(), result.total_cpu_percent
+
+
+def test_fig1_three_modes(benchmark):
+    rows = {}
+
+    def run():
+        for mode in ("shm-ipc", "host", "overlay"):
+            key = "shm" if mode == "shm-ipc" else mode
+            rows[mode] = _measure(key)
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = fmt_table(
+        ["mode", "throughput Gb/s", "latency us", "CPU %"],
+        [[mode, *values] for mode, values in rows.items()],
+    )
+    record(
+        "E1", "Fig. 1 — two local containers: three ways to communicate",
+        table,
+        "paper: both kernel modes far below shm IPC; overlay < host "
+        "(double hairpin)",
+    )
+
+    shm_bw, shm_lat, __ = rows["shm-ipc"]
+    host_bw, host_lat, __ = rows["host"]
+    over_bw, over_lat, __ = rows["overlay"]
+    # Paper shape: shm >> host > overlay for throughput; reversed for
+    # latency.
+    assert shm_bw > 1.5 * host_bw > 1.5 * over_bw
+    assert shm_lat < host_lat < over_lat

@@ -1,0 +1,52 @@
+"""E7 — §2.4 ``eval_bw_host_bridge``: host vs bridge vs RDMA vs shm.
+
+"Host-mode provides a better performance of 38 Gb/s" — the four-way bar
+chart of the paper's motivation.
+"""
+
+import pytest
+
+from repro import ContainerSpec
+from repro.baselines import (
+    BridgeModeNetwork,
+    HostModeNetwork,
+    RawRdmaNetwork,
+    ShmIpcNetwork,
+)
+
+from common import fmt_table, record, stream, make_testbed
+
+
+def _one(kind: str):
+    env, cluster, network = make_testbed(hosts=1)
+    host = cluster.host("host0")
+    a = cluster.submit(ContainerSpec("a", pinned_host="host0"))
+    b = cluster.submit(ContainerSpec("b", pinned_host="host0"))
+    channel = {
+        "host": lambda: HostModeNetwork(env).connect(a, b, 1, 2),
+        "bridge": lambda: BridgeModeNetwork(env).connect(a, b),
+        "rdma": lambda: RawRdmaNetwork().connect(a, b),
+        "shm": lambda: ShmIpcNetwork().connect(a, b),
+    }[kind]()
+    return stream(env, channel, [host], duration_s=0.05).gbps
+
+
+def test_host_vs_bridge_vs_rdma_vs_shm(benchmark):
+    rates = {}
+
+    def run():
+        for kind in ("host", "bridge", "rdma", "shm"):
+            rates[kind] = _one(kind)
+        return rates
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record(
+        "E7", "eval_bw_host_bridge — four-way intra-host throughput",
+        fmt_table(["mode", "Gb/s"], [[k, v] for k, v in rates.items()]),
+        "paper: host 38 > bridge 27; RDMA 40; shm above all",
+    )
+    assert rates["host"] == pytest.approx(38, rel=0.05)
+    assert rates["bridge"] == pytest.approx(27, rel=0.05)
+    assert rates["rdma"] > rates["host"] > rates["bridge"]
+    assert rates["shm"] > rates["rdma"]

@@ -1,0 +1,135 @@
+"""E3b — §2.4 "Figure 3": stacked latency components per transport.
+
+"The stacked bar chart showing the total latency of TCP/IP, RDMA,
+shared memory and their components."  The components are computed from
+the same spec constants that drive the simulation, and the bench
+*validates the model* by asserting that the components sum to the
+measured end-to-end latency within a small tolerance — i.e. the latency
+model is internally consistent, not two unrelated stories.
+"""
+
+import pytest
+
+from repro import ContainerSpec
+from repro.baselines import BridgeModeNetwork, RawRdmaNetwork, ShmIpcNetwork
+from repro.hardware import PAPER_TESTBED
+from repro.netstack import segment_count
+
+from common import fmt_table, pingpong, record, make_testbed
+
+SIZE = 4096
+
+
+def _components_kernel(spec) -> dict:
+    kernel = spec.kernel
+    segments = segment_count(SIZE, kernel.segment_bytes)
+    cpu = spec.cpu
+    send = cpu.seconds_for(
+        kernel.syscall_cycles + SIZE * kernel.send_cycles_per_byte
+        + segments * kernel.per_segment_cycles
+    )
+    bridge = cpu.seconds_for(
+        SIZE * kernel.bridge_cycles_per_byte
+        + segments * kernel.bridge_per_segment_cycles
+    ) * 2  # both endpoints sit behind the bridge
+    recv = cpu.seconds_for(
+        kernel.syscall_cycles + SIZE * kernel.recv_cycles_per_byte
+        + segments * kernel.per_segment_cycles
+    )
+    wakeups = 2 * kernel.stack_latency_s
+    return {
+        "syscall+stack tx": send,
+        "bridge hops": bridge,
+        "softirq+copy rx": recv,
+        "sched wakeups": wakeups,
+    }
+
+
+def _components_rdma(spec) -> dict:
+    nic = spec.nic
+    cpu = spec.cpu
+    wire = nic.rdma_wire_bytes(SIZE) / nic.goodput_bytes
+    dma_time = 2 * (nic.dma_latency_s + SIZE / spec.memory.bus_bandwidth_bytes)
+    return {
+        "post WR (cpu)": cpu.seconds_for(nic.rdma_post_cycles),
+        "NIC engine x2": 2 * nic.rdma_engine_op_seconds,
+        "DMA x2": dma_time,
+        "wire (loopback)": wire,
+        "poll CQ (cpu)": cpu.seconds_for(nic.rdma_poll_cycles),
+    }
+
+
+def _components_shm(spec) -> dict:
+    shm = spec.shm
+    cpu = spec.cpu
+    copy = max(
+        SIZE * spec.memory.copy_cycles_per_byte / spec.cpu.frequency_hz,
+        SIZE / spec.memory.bus_bandwidth_bytes,
+    )
+    return {
+        "ring bookkeeping": cpu.seconds_for(2 * shm.per_message_cycles),
+        "memcpy into ring": copy,
+        "notify (futex)": shm.notify_latency_s
+        + cpu.seconds_for(shm.notify_cycles),
+    }
+
+
+def _measured(kind: str) -> float:
+    env, cluster, network = make_testbed(hosts=1)
+    a = cluster.submit(ContainerSpec("a", pinned_host="host0"))
+    b = cluster.submit(ContainerSpec("b", pinned_host="host0"))
+    channel = {
+        "kernel": lambda: BridgeModeNetwork(env).connect(a, b),
+        "rdma": lambda: RawRdmaNetwork().connect(a, b),
+        "shm": lambda: ShmIpcNetwork().connect(a, b),
+    }[kind]()
+    return pingpong(env, channel, rounds=50,
+                    message_bytes=SIZE).mean_us() / 1e6
+
+
+def test_latency_component_breakdown(benchmark):
+    spec = PAPER_TESTBED
+    breakdowns = {
+        "kernel": _components_kernel(spec),
+        "rdma": _components_rdma(spec),
+        "shm": _components_shm(spec),
+    }
+    measured = {}
+
+    def run():
+        for kind in breakdowns:
+            measured[kind] = _measured(kind)
+        return measured
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for kind, parts in breakdowns.items():
+        total_model = sum(parts.values())
+        rows.append([
+            kind,
+            *(f"{name}:{value * 1e6:.2f}" for name, value in parts.items()),
+        ])
+        rows.append([
+            f"  ({kind})", f"model-sum {total_model * 1e6:.2f} us",
+            f"measured {measured[kind] * 1e6:.2f} us", "", "",
+        ])
+    record(
+        "E3b", f"Figure 3 — latency components at {SIZE} B (us per part)",
+        fmt_table(["transport", "c1", "c2", "c3", "c4", "c5"],
+                  [r + [""] * (6 - len(r)) for r in rows]),
+        "components computed from specs must sum to the simulated "
+        "end-to-end latency — the model is internally consistent",
+    )
+
+    # The validation: model sum ≈ measured one-way latency.
+    for kind, parts in breakdowns.items():
+        assert sum(parts.values()) == pytest.approx(
+            measured[kind], rel=0.15
+        ), kind
+    # And the paper's point: the kernel's biggest component is CPU work
+    # (syscalls/copies), not the wire.
+    kernel = breakdowns["kernel"]
+    assert kernel["syscall+stack tx"] + kernel["softirq+copy rx"] > (
+        kernel["sched wakeups"]
+    )

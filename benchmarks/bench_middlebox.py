@@ -1,0 +1,90 @@
+"""E19 (extension) — what inline middlebox inspection costs FreeFlow.
+
+Paper §7 leaves middlebox support as an open question; this bench
+answers the cost side of it: an inline DPI engine (1 cycle/byte) is
+attached to FreeFlow channels on each mechanism, and throughput/latency/
+CPU are compared with and without it.  The result is sobering and is
+exactly why the paper calls middleboxes a "valid concern": a
+single-threaded software DPI tops out near 19 Gb/s (2.4 GHz / 1 cpb), so
+it becomes the bottleneck of *every* kernel-bypass path — inline
+inspection erases most of what shm and RDMA won unless the inspection
+itself is offloaded or parallelised.
+"""
+
+import pytest
+
+from repro import ContainerSpec
+from repro.core import FreeFlowNetwork, Middlebox
+from repro.metrics import run_pingpong, run_stream
+
+from common import fmt_table, make_testbed, record
+
+
+def _measure(intra: bool, inspected: bool):
+    env, cluster, __ = make_testbed(hosts=2)
+    middlebox = Middlebox(name="dpi") if inspected else None
+    network = FreeFlowNetwork(cluster, middlebox=middlebox)
+    hosts = list(cluster.hosts)
+    a = cluster.submit(ContainerSpec("a", pinned_host="host0"))
+    b = cluster.submit(
+        ContainerSpec("b", pinned_host="host0" if intra else "host1")
+    )
+    network.attach(a)
+    network.attach(b)
+
+    def go():
+        connection = yield from network.connect_containers("a", "b")
+        return connection
+
+    connection = env.run(until=env.process(go()))
+    result = run_stream(env, [(connection.a, connection.b)],
+                        duration_s=0.02, hosts=hosts)
+    latency = run_pingpong(env, connection.a, connection.b, rounds=60)
+    return result.gbps, latency.mean_us(), result.total_cpu_percent
+
+
+def test_middlebox_cost(benchmark):
+    rows = []
+    data = {}
+
+    def run():
+        for intra in (True, False):
+            where = "intra (shm)" if intra else "inter (rdma)"
+            for inspected in (False, True):
+                gbps, lat, cpu = _measure(intra, inspected)
+                data[(intra, inspected)] = (gbps, lat, cpu)
+                rows.append([
+                    where, "dpi" if inspected else "none", gbps, lat, cpu,
+                ])
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record(
+        "E19", "extension — inline IDS/IPS cost per mechanism",
+        fmt_table(
+            ["path", "middlebox", "Gb/s", "latency us", "CPU %"],
+            rows,
+        ),
+        "a 1 cycle/byte inline DPI caps at ~19 Gb/s on one 2.4 GHz "
+        "core, so it bottlenecks both fast paths — quantifying why the "
+        "paper flags middleboxes as an open problem for kernel-bypass "
+        "container networking",
+    )
+
+    shm_plain = data[(True, False)]
+    shm_dpi = data[(True, True)]
+    rdma_plain = data[(False, False)]
+    rdma_dpi = data[(False, True)]
+    dpi_ceiling_gbps = 2.4e9 / 1.0 * 8 / 1e9  # freq / cycles-per-byte
+    # Inspection is the new bottleneck on both paths...
+    assert shm_dpi[0] < shm_plain[0] * 0.5
+    assert rdma_dpi[0] < rdma_plain[0] * 0.7
+    # ...and both converge to (just under) the DPI engine's rate.
+    assert shm_dpi[0] < dpi_ceiling_gbps
+    assert rdma_dpi[0] < dpi_ceiling_gbps
+    assert shm_dpi[0] == pytest.approx(rdma_dpi[0], rel=0.15)
+    # Latency rises on both paths; CPU rises where it was low.
+    assert shm_dpi[1] > shm_plain[1]
+    assert rdma_dpi[1] > rdma_plain[1]
+    assert rdma_dpi[2] > rdma_plain[2]

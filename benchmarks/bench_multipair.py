@@ -1,0 +1,111 @@
+"""E5/E6 — §2.4 "Figure 2": scaling with the number of container pairs.
+
+* Figure 2(a): aggregate throughput vs pairs for kernel TCP, RDMA and
+  shared memory, with the memory-bus bandwidth as the ceiling line;
+* Figure 2(b): host CPU utilisation vs pairs;
+* Figure 2(c): NIC processor utilisation vs pairs.
+
+The shapes to reproduce: kernel TCP flattens as soon as cores saturate;
+RDMA flattens at the link rate with idle host CPU but a busy NIC; shared
+memory scales with cores until the copy cores are exhausted, far above
+both, and bounded above by the memory bus.
+"""
+
+import pytest
+
+from repro import ContainerSpec
+from repro.baselines import BridgeModeNetwork, RawRdmaNetwork, ShmIpcNetwork
+from repro.hardware import to_gbps
+
+from common import fmt_table, record, stream, make_testbed
+
+PAIR_COUNTS = (1, 2, 4, 8)
+
+
+def _run(kind: str, pairs: int):
+    env, cluster, network = make_testbed(hosts=1)
+    host = cluster.host("host0")
+    containers = [
+        cluster.submit(ContainerSpec(f"c{i}", pinned_host="host0"))
+        for i in range(2 * pairs)
+    ]
+    channels = []
+    for i in range(pairs):
+        a, b = containers[2 * i], containers[2 * i + 1]
+        if kind == "kernel":
+            channels.append(BridgeModeNetwork(env).connect(a, b))
+        elif kind == "rdma":
+            channels.append(RawRdmaNetwork().connect(a, b))
+        else:
+            channels.append(ShmIpcNetwork().connect(a, b))
+    result = stream(
+        env, None, [host], duration_s=0.03,
+        pairs=[(ch.a, ch.b) for ch in channels],
+    )
+    return {
+        "gbps": result.gbps,
+        "cpu": result.total_cpu_percent,
+        "nic": 100 * max(result.nic_engine_util["host0"],
+                         result.link_util["host0"]),
+    }
+
+
+def test_multipair_scaling(benchmark):
+    sweeps = {}
+
+    def run():
+        for kind in ("kernel", "rdma", "shm"):
+            sweeps[kind] = [_run(kind, n) for n in PAIR_COUNTS]
+        return sweeps
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    membus_line = to_gbps(51.2e9)
+    record(
+        "E5", "Figure 2(a) — aggregate throughput vs number of pairs",
+        fmt_table(
+            ["pairs", "kernel Gb/s", "rdma Gb/s", "shm Gb/s",
+             "membus ceiling"],
+            [[n,
+              sweeps["kernel"][i]["gbps"],
+              sweeps["rdma"][i]["gbps"],
+              sweeps["shm"][i]["gbps"],
+              membus_line]
+             for i, n in enumerate(PAIR_COUNTS)],
+        ),
+        "paper sketch: RDMA flat at link rate; kernel flat once cores "
+        "saturate; shm scales with copy cores toward the memory-bus line",
+    )
+    record(
+        "E6", "Figure 2(b)/(c) — CPU and NIC utilisation vs pairs",
+        fmt_table(
+            ["pairs", "kernel CPU%", "rdma CPU%", "shm CPU%",
+             "rdma NIC%", "kernel NIC%"],
+            [[n,
+              sweeps["kernel"][i]["cpu"],
+              sweeps["rdma"][i]["cpu"],
+              sweeps["shm"][i]["cpu"],
+              sweeps["rdma"][i]["nic"],
+              sweeps["kernel"][i]["nic"]]
+             for i, n in enumerate(PAIR_COUNTS)],
+        ),
+        "paper sketch: kernel CPU-bound; RDMA host-CPU idle but NIC "
+        "saturated; shm burns copy cores",
+    )
+
+    kernel, rdma, shm = sweeps["kernel"], sweeps["rdma"], sweeps["shm"]
+    # RDMA is link-bound at every pair count.
+    for point in rdma:
+        assert point["gbps"] == pytest.approx(39, rel=0.07)
+    # Kernel TCP stops scaling once ~4 cores are busy.
+    assert kernel[-1]["gbps"] < kernel[1]["gbps"] * 1.7
+    assert kernel[-1]["cpu"] == pytest.approx(400, rel=0.1)
+    # shm scales with pairs until cores run out, always above RDMA.
+    assert shm[1]["gbps"] > 1.7 * shm[0]["gbps"] * 0.9
+    assert shm[-1]["gbps"] > 3 * rdma[-1]["gbps"]
+    # shm stays below the memory-bus ceiling.
+    for point in shm:
+        assert point["gbps"] <= to_gbps(51.2e9)
+    # RDMA leaves the host CPU idle while its NIC saturates.
+    assert rdma[-1]["cpu"] < 30
+    assert rdma[-1]["nic"] > 90

@@ -1,0 +1,102 @@
+"""Shared plumbing for the experiment benchmarks (E1-E16 in DESIGN.md).
+
+Each bench module reproduces one paper figure/table: it builds the
+simulated testbed, runs the workload, prints the same rows/series the
+paper reports, and asserts the paper's *shape* (ordering, rough ratios).
+Results are registered here and echoed in the terminal summary, so
+``pytest benchmarks/ --benchmark-only`` shows every regenerated artifact
+without needing ``-s``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro import ContainerSpec, quickstart_cluster
+from repro.metrics import run_pingpong, run_stream
+
+#: exp id -> rendered report block, echoed by conftest at session end.
+REPORTS: dict[str, str] = {}
+
+
+def record(exp_id: str, title: str, table: str, notes: str = "") -> None:
+    """Register one experiment's regenerated artifact."""
+    block = [f"[{exp_id}] {title}", table.rstrip()]
+    if notes:
+        block.append(f"  note: {notes}")
+    REPORTS[exp_id] = "\n".join(block)
+
+
+def fmt_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    rendered = [[_fmt_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered))
+        if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  " + "  ".join(str(h).ljust(widths[i])
+                         for i, h in enumerate(headers)),
+        "  " + "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append(
+            "  " + "  ".join(row[i].rjust(widths[i]) if i else
+                             row[i].ljust(widths[i])
+                             for i in range(len(row)))
+        )
+    return "\n".join(lines)
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def make_testbed(hosts: int = 2, spec=None, **network_kwargs):
+    """Fresh simulated testbed (2 paper-spec hosts by default)."""
+    return quickstart_cluster(hosts=hosts, spec=spec, **network_kwargs)
+
+
+def deploy_pair(cluster, network, host_a: str, host_b: str,
+                names=("a", "b"), tenants=("t", "t")):
+    """Submit+attach two containers pinned to the given hosts."""
+    a = cluster.submit(ContainerSpec(names[0], tenant=tenants[0],
+                                     pinned_host=host_a))
+    b = cluster.submit(ContainerSpec(names[1], tenant=tenants[1],
+                                     pinned_host=host_b))
+    network.attach(a)
+    network.attach(b)
+    return a, b
+
+
+def freeflow_connect(env, network, src: str, dst: str):
+    """Resolve + build a FreeFlow connection, running the control plane."""
+
+    def go():
+        connection = yield from network.connect_containers(src, dst)
+        return connection
+
+    process = env.process(go())
+    return env.run(until=process)
+
+
+def stream(env, channel, hosts, duration_s: float = 0.03,
+           message_bytes: int = 1 << 20, pairs=None):
+    """Streaming measurement over one channel (or explicit pairs)."""
+    endpoint_pairs = pairs if pairs is not None else [(channel.a, channel.b)]
+    return run_stream(env, endpoint_pairs, duration_s=duration_s,
+                      message_bytes=message_bytes, hosts=hosts)
+
+
+def pingpong(env, channel, rounds: int = 100, message_bytes: int = 4096):
+    return run_pingpong(env, channel.a, channel.b, rounds=rounds,
+                        message_bytes=message_bytes)

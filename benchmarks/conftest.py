@@ -1,0 +1,18 @@
+"""Benchmark-session plumbing: echo every regenerated figure/table."""
+
+import sys
+from pathlib import Path
+
+# Make `import common` work regardless of how pytest sets rootdir.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import REPORTS  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced paper artifacts")
+    for exp_id in sorted(REPORTS):
+        terminalreporter.write_line(REPORTS[exp_id])
+        terminalreporter.write_line("")

@@ -1,0 +1,16 @@
+"""Setup shim: enables legacy editable installs where `wheel` is absent.
+
+The canonical metadata lives in pyproject.toml; this file only exists so
+``python setup.py develop`` / ``pip install -e . --no-build-isolation``
+work on minimal offline environments.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

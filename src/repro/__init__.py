@@ -1,0 +1,57 @@
+"""repro — a full reproduction of *FreeFlow: High Performance Container
+Networking* (HotNets 2016) on a simulated testbed.
+
+The public API mirrors the paper's architecture:
+
+* :mod:`repro.sim` — discrete-event engine everything runs on;
+* :mod:`repro.hardware` — hosts, NICs, memory buses (the testbed);
+* :mod:`repro.netstack` — kernel TCP, bridges, overlay routers (what
+  FreeFlow replaces);
+* :mod:`repro.transports` — shm / RDMA / DPDK / TCP mechanism channels;
+* :mod:`repro.cluster` — the Mesos/Kubernetes-like cluster orchestrator;
+* :mod:`repro.core` — FreeFlow itself: network orchestrator, agents,
+  vNICs, verbs, socket/MPI translations, live migration;
+* :mod:`repro.baselines` — host/bridge/overlay/raw-RDMA/shm-IPC/NetVM;
+* :mod:`repro.workloads`, :mod:`repro.metrics` — experiment harness.
+
+Quickstart::
+
+    from repro import quickstart_cluster
+    env, cluster, net = quickstart_cluster(hosts=2)
+"""
+
+from .cluster import ClusterOrchestrator, ContainerSpec
+from .core import FreeFlowNetwork
+from .hardware import Fabric, Host, PAPER_TESTBED
+from .sim import Environment
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ClusterOrchestrator",
+    "ContainerSpec",
+    "Environment",
+    "Fabric",
+    "FreeFlowNetwork",
+    "Host",
+    "PAPER_TESTBED",
+    "quickstart_cluster",
+    "__version__",
+]
+
+
+def quickstart_cluster(hosts: int = 2, spec=None, **network_kwargs):
+    """One-call testbed: an environment, ``hosts`` hosts on a fabric, a
+    cluster orchestrator and a FreeFlow network.
+
+    Returns ``(env, cluster, network)``.
+    """
+    if hosts <= 0:
+        raise ValueError(f"hosts must be positive, got {hosts}")
+    env = Environment()
+    fabric = Fabric(env)
+    cluster = ClusterOrchestrator(env)
+    for index in range(hosts):
+        cluster.add_host(Host(env, f"host{index}", spec=spec, fabric=fabric))
+    network = FreeFlowNetwork(cluster, **network_kwargs)
+    return env, cluster, network

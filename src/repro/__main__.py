@@ -1,0 +1,162 @@
+"""Command-line demo runner: ``python -m repro [demo]``.
+
+Gives the library a zero-setup "does it work?" entry point:
+
+* ``python -m repro``          — the quickstart demo (default)
+* ``python -m repro matrix``   — the Fig. 2 / Table 1 mechanism matrix
+* ``python -m repro compare``  — FreeFlow vs every baseline, intra+inter
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import ContainerSpec, quickstart_cluster
+from .metrics import run_pingpong, run_stream
+
+
+def demo_quickstart() -> None:
+    """Two containers per host; FreeFlow picks shm locally, RDMA across."""
+    env, cluster, network = quickstart_cluster(hosts=2)
+    for name, host in (("web", "host0"), ("cache", "host0"),
+                       ("db", "host1")):
+        container = cluster.submit(ContainerSpec(name, pinned_host=host))
+        network.attach(container)
+        print(f"  {name:6s} on {host}  ip={container.ip}")
+
+    def wire():
+        local = yield from network.connect_containers("web", "cache")
+        remote = yield from network.connect_containers("web", "db")
+        return local, remote
+
+    local, remote = env.run(until=env.process(wire()))
+    for label, connection in (("local", local), ("remote", remote)):
+        result = run_stream(env, [(connection.a, connection.b)],
+                            duration_s=0.02, hosts=list(cluster.hosts))
+        latency = run_pingpong(env, connection.a, connection.b, rounds=60)
+        print(f"  {label:6s} -> {connection.mechanism.value.upper():4s}  "
+              f"{result.gbps:6.1f} Gb/s  {latency.mean_us():5.2f} us  "
+              f"CPU {result.total_cpu_percent:4.0f} %")
+
+
+def demo_matrix() -> None:
+    """The deployment-case mechanism matrix (paper Fig. 2 + Table 1)."""
+    from .cluster import ClusterOrchestrator
+    from .core import FreeFlowNetwork
+    from .hardware import Fabric, Host, NO_RDMA_TESTBED, VirtualMachine
+    from .sim import Environment
+
+    cases = {
+        "(a) same host": ("h1", "h1", False),
+        "(b) two hosts": ("h1", "h2", False),
+        "(c) same VM": ("vm0", "vm0", True),
+        "(d) VMs, two hosts": ("vm0", "vm1", True),
+    }
+    constraints = ("none", "w/o trust", "w/o RDMA NIC")
+    print(f"  {'case':20s}" + "".join(f"{c:>14s}" for c in constraints))
+    for case, (loc_a, loc_b, with_vms) in cases.items():
+        cells = []
+        for constraint in constraints:
+            env = Environment()
+            fabric = Fabric(env)
+            spec = NO_RDMA_TESTBED if constraint == "w/o RDMA NIC" else None
+            cluster = ClusterOrchestrator(env)
+            h1 = Host(env, "h1", spec=spec, fabric=fabric)
+            h2 = Host(env, "h2", spec=spec, fabric=fabric)
+            cluster.add_host(h1)
+            cluster.add_host(h2)
+            if with_vms:
+                cluster.add_vm(VirtualMachine(h1, "vm0"))
+                if case.startswith("(d)"):
+                    cluster.add_vm(VirtualMachine(h2, "vm1"))
+            tenants = (("blue", "red") if constraint == "w/o trust"
+                       else ("t", "t"))
+            network = FreeFlowNetwork(cluster)
+            for name, tenant, loc in (("a", tenants[0], loc_a),
+                                      ("b", tenants[1], loc_b)):
+                container = cluster.submit(
+                    ContainerSpec(name, tenant=tenant, pinned_host=loc)
+                )
+                network.attach(container)
+
+            def wire():
+                connection = yield from network.connect_containers("a", "b")
+                return connection
+
+            connection = env.run(until=env.process(wire()))
+            cells.append(connection.mechanism.value)
+        print(f"  {case:20s}" + "".join(f"{c:>14s}" for c in cells))
+
+
+def demo_compare() -> None:
+    """FreeFlow vs every baseline (the paper's E10 headline table)."""
+    from .baselines import (
+        BridgeModeNetwork,
+        HostModeNetwork,
+        OverlayModeNetwork,
+        RawRdmaNetwork,
+        ShmIpcNetwork,
+    )
+
+    for intra in (True, False):
+        where = "intra-host" if intra else "inter-host"
+        print(f"  -- {where} --")
+        for kind in ("freeflow", "shm-ipc", "rdma", "host", "bridge",
+                     "overlay"):
+            if kind == "shm-ipc" and not intra:
+                continue
+            env, cluster, network = quickstart_cluster(hosts=2)
+            hosts = list(cluster.hosts)
+            a = cluster.submit(ContainerSpec("a", pinned_host="host0"))
+            b = cluster.submit(ContainerSpec(
+                "b", pinned_host="host0" if intra else "host1"
+            ))
+            network.attach(a)
+            network.attach(b)
+            if kind == "freeflow":
+                def wire():
+                    connection = yield from network.connect_containers(
+                        "a", "b"
+                    )
+                    return connection
+
+                channel = env.run(until=env.process(wire()))
+            elif kind == "shm-ipc":
+                channel = ShmIpcNetwork().connect(a, b)
+            elif kind == "rdma":
+                channel = RawRdmaNetwork().connect(a, b)
+            elif kind == "host":
+                channel = HostModeNetwork(env).connect(a, b, 1, 2)
+            elif kind == "bridge":
+                channel = BridgeModeNetwork(env).connect(a, b)
+            else:
+                channel = OverlayModeNetwork(env).connect(a, b)
+            result = run_stream(env, [(channel.a, channel.b)],
+                                duration_s=0.02, hosts=hosts)
+            print(f"  {kind:9s} {result.gbps:6.1f} Gb/s  "
+                  f"CPU {result.total_cpu_percent:4.0f} %")
+
+
+DEMOS = {
+    "quickstart": demo_quickstart,
+    "matrix": demo_matrix,
+    "compare": demo_compare,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FreeFlow (HotNets'16) reproduction demos",
+    )
+    parser.add_argument("demo", nargs="?", default="quickstart",
+                        choices=sorted(DEMOS))
+    args = parser.parse_args(argv)
+    print(f"[repro] running demo: {args.demo}")
+    DEMOS[args.demo]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Baseline container-networking systems (S12): everything compared.
+
+Host mode, bridge (docker0), overlay (Weave-style), raw RDMA, bare
+shared-memory IPC, and a NetVM-style inter-VM path.
+"""
+
+from .bridgemode import BridgeModeNetwork
+from .hostmode import HostModeNetwork
+from .netvm import NetVmChannel, NetVmLane, NetVmNetwork
+from .overlaymode import OverlayModeNetwork
+from .rawrdma import RawRdmaNetwork
+from .shmipc import ShmIpcNetwork
+
+__all__ = [
+    "BridgeModeNetwork",
+    "HostModeNetwork",
+    "NetVmChannel",
+    "NetVmLane",
+    "NetVmNetwork",
+    "OverlayModeNetwork",
+    "RawRdmaNetwork",
+    "ShmIpcNetwork",
+]

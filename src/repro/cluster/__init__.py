@@ -1,0 +1,33 @@
+"""Cluster management substrate (S6/S7): the Mesos/Kubernetes stand-in.
+
+Container lifecycle and placement, the VM fabric controller, and the
+etcd-like KV store whose watches feed FreeFlow's network orchestrator.
+"""
+
+from .container import Container, ContainerSpec, ContainerStatus
+from .fabric import FabricController
+from .kvstore import KeyValueStore, Watch, WatchEvent
+from .orchestrator import ClusterOrchestrator
+from .scheduler import (
+    AffinityStrategy,
+    BinPackStrategy,
+    PlacementStrategy,
+    RoundRobinStrategy,
+    SpreadStrategy,
+)
+
+__all__ = [
+    "AffinityStrategy",
+    "BinPackStrategy",
+    "ClusterOrchestrator",
+    "Container",
+    "ContainerSpec",
+    "ContainerStatus",
+    "FabricController",
+    "KeyValueStore",
+    "PlacementStrategy",
+    "RoundRobinStrategy",
+    "SpreadStrategy",
+    "Watch",
+    "WatchEvent",
+]

@@ -1,0 +1,127 @@
+"""Containers: the unit FreeFlow networks together.
+
+A container here is the *deployment* record — name, tenant, resource
+shape, where it runs (bare-metal host or VM), lifecycle status — plus the
+handles applications need (its host's CPU for running workload processes,
+its assigned overlay IP once the network orchestrator allocates one).
+
+Trust is modelled per-tenant: the paper's isolation compromise is only
+offered "among trusted containers, for example, container belongs to the
+same vendor" (§7), so the policy engine consults :meth:`trusts`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.host import Host
+    from ..hardware.vm import VirtualMachine
+
+__all__ = ["ContainerStatus", "ContainerSpec", "Container"]
+
+
+class ContainerStatus(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    MIGRATING = "migrating"
+    STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class ContainerSpec:
+    """What the user asks the cluster orchestrator to run."""
+
+    name: str
+    tenant: str = "default"
+    image: str = "scratch"
+    cpu_shares: float = 1.0
+    memory_bytes: float = 1e9
+    labels: dict = field(default_factory=dict)
+    #: Pin to a specific host/VM by name (None = let the scheduler pick).
+    pinned_host: Optional[str] = None
+    #: Manually requested overlay IP (None = IPAM allocates).
+    requested_ip: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("container needs a name")
+        if self.cpu_shares <= 0:
+            raise ValueError(f"cpu_shares must be positive, got {self.cpu_shares}")
+        if self.memory_bytes <= 0:
+            raise ValueError(f"memory_bytes must be positive, got {self.memory_bytes}")
+
+
+class Container:
+    """A placed container instance."""
+
+    def __init__(
+        self,
+        spec: ContainerSpec,
+        host: "Host",
+        vm: Optional["VirtualMachine"] = None,
+    ) -> None:
+        if vm is not None and vm.host is not host:
+            raise ValueError(f"VM {vm.name} does not run on host {host.name}")
+        self.spec = spec
+        self.host = host
+        self.vm = vm
+        self.status = ContainerStatus.PENDING
+        self.ip: Optional[str] = None
+        #: Monotonic placement generation — bumps on every (re)placement,
+        #: so stale cached locations are detectable.
+        self.generation = 1
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def tenant(self) -> str:
+        return self.spec.tenant
+
+    @property
+    def env(self):
+        return self.host.env
+
+    def trusts(self, other: "Container") -> bool:
+        """Paper §7: isolation may only be relaxed between trusted peers."""
+        return self.tenant == other.tenant
+
+    def colocated(self, other: "Container") -> bool:
+        """Same physical machine (regardless of VM boundaries)."""
+        return self.host is other.host
+
+    def same_vm(self, other: "Container") -> bool:
+        return self.vm is not None and self.vm is other.vm
+
+    def start(self) -> None:
+        if self.status is ContainerStatus.STOPPED:
+            raise RuntimeError(f"container {self.name} was stopped")
+        self.status = ContainerStatus.RUNNING
+
+    def stop(self) -> None:
+        self.status = ContainerStatus.STOPPED
+
+    def relocate(self, host: "Host", vm: Optional["VirtualMachine"] = None) -> None:
+        """Move the record to a new placement (migration support)."""
+        if vm is not None and vm.host is not host:
+            raise ValueError(f"VM {vm.name} does not run on host {host.name}")
+        self.host = host
+        self.vm = vm
+        self.generation += 1
+
+    @property
+    def location(self) -> str:
+        """Human-readable placement, e.g. ``host1`` or ``host1/vm0``."""
+        if self.vm is not None:
+            return f"{self.host.name}/{self.vm.name}"
+        return self.host.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Container {self.name} tenant={self.tenant} at {self.location} "
+            f"{self.status.value}>"
+        )

@@ -1,0 +1,56 @@
+"""The cloud fabric controller: VM → physical machine authority.
+
+When containers run inside VMs (deployment cases (c)/(d) of the paper's
+Fig. 2), the cluster orchestrator only knows which *VM* a container is
+in; whether two VMs share a physical machine is information only the
+cloud provider's fabric controller has.  FreeFlow's network orchestrator
+"also needs to know which physical machine each VM is located (from
+fabric controllers)" (§4.2) — this module is that source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import OrchestrationError
+from ..hardware.vm import VirtualMachine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.host import Host
+
+__all__ = ["FabricController"]
+
+
+class FabricController:
+    """Tracks VM placements across the physical fleet."""
+
+    def __init__(self) -> None:
+        self._vms: dict[str, VirtualMachine] = {}
+
+    def register(self, vm: VirtualMachine) -> None:
+        if vm.name in self._vms:
+            raise OrchestrationError(f"VM {vm.name!r} already registered")
+        self._vms[vm.name] = vm
+
+    def deregister(self, vm_name: str) -> None:
+        self._vms.pop(vm_name, None)
+
+    def vm(self, name: str) -> VirtualMachine:
+        try:
+            return self._vms[name]
+        except KeyError:
+            raise OrchestrationError(f"unknown VM {name!r}") from None
+
+    def physical_host_of(self, vm_name: str) -> "Host":
+        """The query FreeFlow's orchestrator issues (paper §4.2)."""
+        return self.vm(vm_name).host
+
+    def colocated(self, vm_a: str, vm_b: str) -> bool:
+        """Do two VMs share a physical machine?"""
+        return self.physical_host_of(vm_a) is self.physical_host_of(vm_b)
+
+    def vms_on(self, host: "Host") -> list[VirtualMachine]:
+        return [vm for vm in self._vms.values() if vm.host is host]
+
+    def __len__(self) -> int:
+        return len(self._vms)

@@ -1,0 +1,134 @@
+"""An etcd-like key-value store with prefix watches (substrate S7).
+
+Container orchestrators keep their cluster state in exactly this shape
+of store, and FreeFlow's network orchestrator needs both point lookups
+("where is container X right now?") and change notification ("tell my
+agents when X moves") — the paper's library "keeps pulling the newest
+container location information from the network orchestrator" (§3.2);
+watches are the efficient push-style equivalent we also provide.
+
+The store is synchronous in simulated time (an in-process data
+structure); RPC latency to reach it is modelled by the *callers* (see
+:class:`repro.core.orchestrator.NetworkOrchestrator`), so control-plane
+cost ablations can vary it without touching the store.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+from ..sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.scheduler import Environment
+
+__all__ = ["KeyValueStore", "WatchEvent", "Watch"]
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    """One change notification: PUT or DELETE of a key."""
+
+    kind: str  # "put" | "delete"
+    key: str
+    value: Any
+    revision: int
+
+
+class Watch:
+    """A live subscription to changes under a key prefix.
+
+    Iterate with ``event = yield watch.queue.get()`` inside a process,
+    or drain synchronously in tests with :meth:`pending`.
+    """
+
+    def __init__(self, store: "KeyValueStore", prefix: str) -> None:
+        self._store = store
+        self.prefix = prefix
+        self.queue: Store = Store(store.env)
+        self.cancelled = False
+
+    def pending(self) -> list[WatchEvent]:
+        """Non-blocking drain of already-delivered events."""
+        events = list(self.queue.items)
+        self.queue.items.clear()
+        return events
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._store._watches.discard(self)
+
+
+class KeyValueStore:
+    """Hierarchical (slash-separated) keys, revisions and prefix watches."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._data: dict[str, Any] = {}
+        self._revisions = itertools.count(1)
+        self.revision = 0
+        self._watches: set[Watch] = set()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def put(self, key: str, value: Any) -> int:
+        """Set ``key`` to ``value``; returns the new store revision."""
+        self._validate(key)
+        self._data[key] = value
+        self.revision = next(self._revisions)
+        self._notify(WatchEvent("put", key, value, self.revision))
+        return self.revision
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; returns True if it existed."""
+        if key not in self._data:
+            return False
+        value = self._data.pop(key)
+        self.revision = next(self._revisions)
+        self._notify(WatchEvent("delete", key, value, self.revision))
+        return True
+
+    def keys(self, prefix: str = "") -> list[str]:
+        return sorted(k for k in self._data if k.startswith(prefix))
+
+    def items(self, prefix: str = "") -> Iterator[tuple[str, Any]]:
+        for key in self.keys(prefix):
+            yield key, self._data[key]
+
+    def watch(self, prefix: str = "") -> Watch:
+        """Subscribe to future changes under ``prefix``."""
+        watch = Watch(self, prefix)
+        self._watches.add(watch)
+        return watch
+
+    def compare_and_put(self, key: str, expected: Any, value: Any) -> bool:
+        """Atomic update: succeeds only if the current value == expected
+        (use ``expected=None`` for create-if-absent)."""
+        current = self._data.get(key)
+        if current != expected:
+            return False
+        self.put(key, value)
+        return True
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _validate(key: str) -> None:
+        if not key or not isinstance(key, str):
+            raise ValueError(f"bad key {key!r}")
+        if key != key.strip():
+            raise ValueError(f"key has surrounding whitespace: {key!r}")
+
+    def _notify(self, event: WatchEvent) -> None:
+        for watch in list(self._watches):
+            if not watch.cancelled and event.key.startswith(watch.prefix):
+                watch.queue.put(event)

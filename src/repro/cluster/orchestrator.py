@@ -1,0 +1,220 @@
+"""The cluster orchestrator (Mesos/Kubernetes stand-in, substrate S6).
+
+Owns container lifecycle: submission, placement (via a pluggable
+strategy), stop, and relocation.  All state lands in the cluster
+:class:`~repro.cluster.kvstore.KeyValueStore` under ``/cluster/...`` so
+that FreeFlow's *network* orchestrator can watch placements exactly the
+way the paper prescribes ("the information about the location of the
+other endpoints can be easily obtained by querying the orchestrator",
+§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..errors import OrchestrationError, PlacementError, UnknownContainer
+from ..hardware.host import Host
+from ..hardware.vm import VirtualMachine
+from .container import Container, ContainerSpec, ContainerStatus
+from .fabric import FabricController
+from .kvstore import KeyValueStore
+from .scheduler import PlacementStrategy, SpreadStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.scheduler import Environment
+
+__all__ = ["ClusterOrchestrator"]
+
+
+class ClusterOrchestrator:
+    """Central controller for a fleet of hosts/VMs and their containers."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        strategy: Optional[PlacementStrategy] = None,
+        fabric_controller: Optional[FabricController] = None,
+        kvstore: Optional[KeyValueStore] = None,
+    ) -> None:
+        self.env = env
+        self.strategy = strategy or SpreadStrategy()
+        self.fabric_controller = fabric_controller or FabricController()
+        self.kv = kvstore or KeyValueStore(env)
+        self._hosts: dict[str, Host] = {}
+        self._vms: dict[str, VirtualMachine] = {}
+        self._containers: dict[str, Container] = {}
+        self._down_hosts: set[str] = set()
+
+    # -- fleet management ---------------------------------------------------------
+
+    def add_host(self, host: Host) -> None:
+        if host.name in self._hosts:
+            raise OrchestrationError(f"host {host.name!r} already registered")
+        self._hosts[host.name] = host
+        self.kv.put(f"/cluster/hosts/{host.name}", {
+            "cores": host.cpu.cores,
+            "rdma": host.rdma_capable,
+            "dpdk": host.dpdk_capable,
+        })
+
+    def add_vm(self, vm: VirtualMachine) -> None:
+        if vm.name in self._vms:
+            raise OrchestrationError(f"VM {vm.name!r} already registered")
+        if vm.host.name not in self._hosts:
+            raise OrchestrationError(
+                f"VM {vm.name!r} runs on unregistered host {vm.host.name!r}"
+            )
+        self._vms[vm.name] = vm
+        self.fabric_controller.register(vm)
+        self.kv.put(f"/cluster/vms/{vm.name}", {"host": vm.host.name})
+
+    @property
+    def hosts(self) -> Sequence[Host]:
+        return tuple(self._hosts.values())
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise OrchestrationError(f"unknown host {name!r}") from None
+
+    # -- container lifecycle ---------------------------------------------------------
+
+    def submit(self, spec: ContainerSpec) -> Container:
+        """Place and start a container."""
+        if spec.name in self._containers:
+            raise OrchestrationError(f"container {spec.name!r} already exists")
+        host, vm = self._resolve_placement(spec)
+        container = Container(spec, host, vm)
+        container.start()
+        self._containers[spec.name] = container
+        self._publish(container)
+        return container
+
+    def _resolve_placement(self, spec: ContainerSpec):
+        if spec.pinned_host is not None:
+            if spec.pinned_host in self._down_hosts:
+                raise PlacementError(
+                    f"pinned host {spec.pinned_host!r} is down"
+                )
+            if spec.pinned_host in self._vms:
+                vm = self._vms[spec.pinned_host]
+                return vm.host, vm
+            if spec.pinned_host in self._hosts:
+                return self._hosts[spec.pinned_host], None
+            raise PlacementError(
+                f"pinned location {spec.pinned_host!r} is not a known host or VM"
+            )
+        load = self._load_by_host()
+        candidates = tuple(
+            host for name, host in self._hosts.items()
+            if name not in self._down_hosts
+        )
+        host = self.strategy.place(spec, candidates, load)
+        if host.name not in self._hosts:
+            raise PlacementError(
+                f"strategy returned unregistered host {host.name!r}"
+            )
+        return host, None
+
+    def _load_by_host(self) -> dict[str, int]:
+        load: dict[str, int] = {}
+        for container in self._containers.values():
+            if container.status is ContainerStatus.RUNNING:
+                load[container.host.name] = load.get(container.host.name, 0) + 1
+        return load
+
+    def container(self, name: str) -> Container:
+        try:
+            return self._containers[name]
+        except KeyError:
+            raise UnknownContainer(f"no container named {name!r}") from None
+
+    def containers(self, tenant: Optional[str] = None) -> list[Container]:
+        found = list(self._containers.values())
+        if tenant is not None:
+            found = [c for c in found if c.tenant == tenant]
+        return found
+
+    def stop(self, name: str) -> None:
+        container = self.container(name)
+        container.stop()
+        self.kv.delete(f"/cluster/containers/{name}")
+
+    def remove(self, name: str) -> None:
+        """Forget a container entirely (it can be resubmitted by name)."""
+        container = self._containers.pop(name, None)
+        if container is not None:
+            container.stop()
+            self.kv.delete(f"/cluster/containers/{name}")
+
+    # -- failure handling (§2.1: "a stopped container can be quickly
+    # replaced by a new one on the same or another host") -----------------
+
+    def fail_host(self, host_name: str) -> list[str]:
+        """A host dies: its containers are lost; it leaves the pool.
+
+        Returns the names of the containers that were lost so callers
+        (and FreeFlow's network layer) can react.
+        """
+        host = self.host(host_name)
+        self._down_hosts.add(host_name)
+        self.kv.delete(f"/cluster/hosts/{host_name}")
+        lost = [
+            name for name, container in self._containers.items()
+            if container.host is host
+            and container.status is not ContainerStatus.STOPPED
+        ]
+        for name in lost:
+            self.remove(name)
+        return lost
+
+    def recover_host(self, host_name: str) -> None:
+        """Bring a previously failed host back into the pool."""
+        host = self.host(host_name)
+        self._down_hosts.discard(host_name)
+        self.kv.put(f"/cluster/hosts/{host.name}", {
+            "cores": host.cpu.cores,
+            "rdma": host.rdma_capable,
+            "dpdk": host.dpdk_capable,
+        })
+
+    def is_host_up(self, host_name: str) -> bool:
+        return host_name in self._hosts and host_name not in self._down_hosts
+
+    def relocate(self, name: str, destination: str) -> Container:
+        """Move a container to another host/VM (the migration primitive).
+
+        The heavy lifting (copying state, draining connections) is the
+        job of :mod:`repro.core.migration`; this just flips the placement
+        record and publishes the change.
+        """
+        container = self.container(name)
+        if destination in self._vms:
+            vm = self._vms[destination]
+            container.relocate(vm.host, vm)
+        elif destination in self._hosts:
+            container.relocate(self._hosts[destination], None)
+        else:
+            raise PlacementError(f"unknown destination {destination!r}")
+        self._publish(container)
+        return container
+
+    # -- the query surface FreeFlow consumes ----------------------------------------
+
+    def locate(self, name: str) -> Host:
+        """Physical host of a container, resolving any VM indirection
+        through the fabric controller (paper §4.2)."""
+        container = self.container(name)
+        if container.vm is not None:
+            return self.fabric_controller.physical_host_of(container.vm.name)
+        return container.host
+
+    def _publish(self, container: Container) -> None:
+        self.kv.put(f"/cluster/containers/{container.name}", {
+            "tenant": container.tenant,
+            "host": container.host.name,
+            "vm": container.vm.name if container.vm is not None else None,
+            "generation": container.generation,
+        })

@@ -1,0 +1,115 @@
+"""Container placement strategies for the cluster orchestrator.
+
+The paper leans on the fact that "currently most of the container
+clusters are managed by centralized cluster orchestrator (e.g. Mesos,
+Kubernetes, Docker Swarm)" (§3.1).  Placement policy matters to FreeFlow
+because it decides how often the shared-memory fast path applies:
+packing communicating containers together turns inter-host RDMA flows
+into intra-host shm flows — an effect the deployment-cases bench (E11)
+sweeps explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, Sequence
+
+from ..errors import PlacementError
+from .container import ContainerSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.host import Host
+
+__all__ = [
+    "PlacementStrategy",
+    "SpreadStrategy",
+    "BinPackStrategy",
+    "RoundRobinStrategy",
+    "AffinityStrategy",
+]
+
+
+class PlacementStrategy(Protocol):
+    """Chooses a host for a container given current per-host load."""
+
+    def place(
+        self,
+        spec: ContainerSpec,
+        hosts: Sequence["Host"],
+        load: dict[str, int],
+    ) -> "Host":
+        """Return the chosen host; raise PlacementError if impossible."""
+        ...  # pragma: no cover
+
+
+def _require_hosts(hosts: Sequence["Host"]) -> None:
+    if not hosts:
+        raise PlacementError("no hosts registered with the orchestrator")
+
+
+class SpreadStrategy:
+    """Least-loaded first (Kubernetes default-ish): maximise headroom."""
+
+    def place(self, spec, hosts, load):
+        _require_hosts(hosts)
+        return min(hosts, key=lambda h: (load.get(h.name, 0), h.name))
+
+
+class BinPackStrategy:
+    """Most-loaded first (with a per-host cap): minimise hosts used.
+
+    Packing increases the chance two communicating containers share a
+    host — the FreeFlow-friendliest placement.
+    """
+
+    def __init__(self, max_per_host: int = 64) -> None:
+        if max_per_host <= 0:
+            raise ValueError("max_per_host must be positive")
+        self.max_per_host = max_per_host
+
+    def place(self, spec, hosts, load):
+        _require_hosts(hosts)
+        candidates = [
+            h for h in hosts if load.get(h.name, 0) < self.max_per_host
+        ]
+        if not candidates:
+            raise PlacementError(
+                f"all hosts at capacity ({self.max_per_host} per host)"
+            )
+        return max(candidates, key=lambda h: (load.get(h.name, 0), h.name))
+
+
+class RoundRobinStrategy:
+    """Deterministic rotation — handy for reproducible experiments."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def place(self, spec, hosts, load):
+        _require_hosts(hosts)
+        host = hosts[self._next % len(hosts)]
+        self._next += 1
+        return host
+
+
+class AffinityStrategy:
+    """Honour an ``affinity`` label naming a container to co-locate with.
+
+    Falls back to an inner strategy when no affinity is expressed or the
+    target is unknown.
+    """
+
+    def __init__(self, locations: dict[str, str], fallback=None) -> None:
+        #: Mapping container name -> host name, maintained by the caller.
+        self.locations = locations
+        self.fallback = fallback or SpreadStrategy()
+
+    def place(self, spec, hosts, load):
+        _require_hosts(hosts)
+        target = spec.labels.get("affinity")
+        if target:
+            host_name = self.locations.get(target)
+            if host_name is not None:
+                for host in hosts:
+                    if host.name == host_name:
+                        return host
+        return self.fallback.place(spec, hosts, load)

@@ -1,0 +1,441 @@
+"""FreeFlowNetwork: the whole system assembled (paper Fig. 4(b)).
+
+One object wires together the three gray boxes of the paper's
+architecture figure:
+
+* the **network orchestrator** (extends the cluster orchestrator with
+  location/IP/capability queries),
+* one **network agent per host** (the customized overlay router), and
+* per-container **vNICs + customized network library** (verbs, with
+  socket and MPI translations layered on top).
+
+Typical use::
+
+    net = FreeFlowNetwork(cluster)
+    vnic_a = net.attach(container_a)      # IP assigned, agent ready
+    vnic_b = net.attach(container_b)
+    decision = yield from net.connect(qp_a, qp_b)   # policy + channel
+
+The library-side *location cache* (TTL-based) implements the paper's
+"keeps pulling the newest container location information from the
+network orchestrator" with a knob the caching ablation (E13) sweeps:
+``cache_ttl_s=0`` forces a round trip to the orchestrator per
+connection; a positive TTL amortises it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..cluster.container import Container
+from ..cluster.orchestrator import ClusterOrchestrator
+from ..errors import ChannelRebound, OrchestrationError
+from ..transports.base import DuplexChannel, Mechanism
+from .agent import FreeFlowAgent, build_channel
+from .orchestrator import NetworkOrchestrator
+from .policy import MechanismPolicy, PolicyConfig, PolicyDecision
+from .verbs import QpState, QueuePair
+from .vnic import VirtualNic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.host import Host
+
+__all__ = ["FreeFlowNetwork", "FlowConnection"]
+
+
+class ConnectionEnd:
+    """Migration-stable endpoint facade over a :class:`FlowConnection`.
+
+    Applications hold this object; it resolves the live channel on every
+    call, honours the connection's pause gate, and transparently retries
+    a receive that was ejected by a channel swap — which is what keeps
+    connections alive across live migrations (paper §7).
+    """
+
+    def __init__(self, connection: "FlowConnection", side: str) -> None:
+        if side not in ("a", "b"):
+            raise ValueError(f"side must be 'a' or 'b', got {side!r}")
+        self._connection = connection
+        self._side = side
+
+    def _end(self):
+        channel = self._connection.channel
+        return channel.a if self._side == "a" else channel.b
+
+    @property
+    def mechanism(self) -> Mechanism:
+        return self._end().mechanism
+
+    def send(self, nbytes: int, payload=None):
+        yield from self._connection.wait_if_paused()
+        result = yield from self._end().send(nbytes, payload)
+        return result
+
+    def recv(self):
+        while True:
+            yield from self._connection.wait_if_paused()
+            try:
+                message = yield from self._end().recv()
+                return message
+            except ChannelRebound:
+                continue
+
+
+@dataclass
+class FlowConnection:
+    """A logical container-to-container connection the network tracks.
+
+    Tracking connections centrally is what lets migration rebind them
+    when an endpoint moves (paper §7, "Live migration").
+    """
+
+    src_name: str
+    dst_name: str
+    channel: DuplexChannel
+    decision: PolicyDecision
+    qp_a: Optional[QueuePair] = None
+    qp_b: Optional[QueuePair] = None
+    generation: int = 1
+    failed: bool = False
+
+    def __post_init__(self) -> None:
+        self.a = ConnectionEnd(self, "a")
+        self.b = ConnectionEnd(self, "b")
+        self._paused = False
+        self._resume_event = None
+
+    @property
+    def mechanism(self) -> Mechanism:
+        return self.decision.mechanism
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def pause(self, env) -> None:
+        """Stop admitting new sends/recvs at the facade (migration)."""
+        if not self._paused:
+            self._paused = True
+            self._resume_event = env.event()
+
+    def resume(self) -> None:
+        if self._paused:
+            self._paused = False
+            event, self._resume_event = self._resume_event, None
+            if event is not None:
+                event.succeed()
+
+    def wait_if_paused(self):
+        """Generator: park until :meth:`resume` (no-op when running)."""
+        while self._paused:
+            yield self._resume_event
+
+    def in_flight(self) -> int:
+        """Messages accepted but not yet delivered, both directions."""
+        lanes = (self.channel.lane_ab, self.channel.lane_ba)
+        return sum(
+            lane.stats.messages_sent - lane.stats.messages_delivered
+            for lane in lanes
+        )
+
+
+class FreeFlowNetwork:
+    """The FreeFlow control plane plus per-host agents."""
+
+    def __init__(
+        self,
+        cluster: ClusterOrchestrator,
+        policy: Optional[MechanismPolicy] = None,
+        policy_config: Optional[PolicyConfig] = None,
+        zero_copy: bool = True,
+        cache_ttl_s: float = 1.0,
+        query_latency_s: float = 50e-6,
+        middlebox=None,
+        inspect=None,
+        tenant_rate_limits=None,
+    ) -> None:
+        if policy is None:
+            policy = MechanismPolicy(policy_config)
+        elif policy_config is not None:
+            raise ValueError("pass either policy or policy_config, not both")
+        if inspect is not None and middlebox is None:
+            raise ValueError("an inspect predicate needs a middlebox")
+        self.env = cluster.env
+        self.cluster = cluster
+        self.zero_copy = zero_copy
+        self.cache_ttl_s = cache_ttl_s
+        self.orchestrator = NetworkOrchestrator(
+            cluster, policy, query_latency_s=query_latency_s
+        )
+        #: Optional inline IDS/IPS (paper §7) and the predicate deciding
+        #: which container pairs it applies to (default: all pairs).
+        self.middlebox = middlebox
+        self.inspect = inspect if inspect is not None else (
+            (lambda src, dst: True) if middlebox is not None else None
+        )
+        #: Per-tenant egress caps in bytes/s (paper §1: bypass loses the
+        #: kernel's rate-limiting — FreeFlow restores it in the library).
+        self.tenant_rate_limits = dict(tenant_rate_limits or {})
+        self._tenant_buckets: dict[str, object] = {}
+        self._agents: dict[str, FreeFlowAgent] = {}
+        self._vnics: dict[str, VirtualNic] = {}
+        self._cache: dict[tuple[str, str], tuple[PolicyDecision, float]] = {}
+        self.connections: list[FlowConnection] = []
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- agents ------------------------------------------------------------------
+
+    def agent_for(self, host: "Host") -> FreeFlowAgent:
+        """Get (or start) the network agent on ``host``."""
+        agent = self._agents.get(host.name)
+        if agent is None or agent.host is not host:
+            agent = FreeFlowAgent(host, zero_copy=self.zero_copy)
+            self._agents[host.name] = agent
+        return agent
+
+    # -- container attach ----------------------------------------------------------
+
+    def attach(self, container: Container) -> VirtualNic:
+        """Admit a container: allocate its overlay IP, create its vNIC."""
+        if container.name in self._vnics:
+            raise OrchestrationError(
+                f"container {container.name!r} already attached"
+            )
+        self.orchestrator.register(container)
+        self.agent_for(container.host)
+        vnic = VirtualNic(container, self)
+        self._vnics[container.name] = vnic
+        return vnic
+
+    def detach(self, name: str) -> None:
+        self._vnics.pop(name, None)
+        self.orchestrator.deregister(name)
+        self.invalidate(name)
+
+    def vnic(self, name: str) -> VirtualNic:
+        try:
+            return self._vnics[name]
+        except KeyError:
+            raise OrchestrationError(f"{name!r} is not attached") from None
+
+    # -- mechanism resolution (the library's orchestrator query) ---------------------
+
+    def resolve(self, src_name: str, dst_name: str):
+        """Policy decision with library-side caching (generator)."""
+        key = (src_name, dst_name)
+        if self.cache_ttl_s > 0:
+            cached = self._cache.get(key)
+            if cached is not None and cached[1] > self.env.now:
+                self.cache_hits += 1
+                return cached[0]
+        self.cache_misses += 1
+        decision = yield from self.orchestrator.query_mechanism(
+            src_name, dst_name
+        )
+        if self.cache_ttl_s > 0:
+            self._cache[key] = (decision, self.env.now + self.cache_ttl_s)
+        return decision
+
+    def invalidate(self, name: str) -> None:
+        """Drop every cached decision involving ``name`` (migration)."""
+        stale = [k for k in self._cache if name in k]
+        for key in stale:
+            del self._cache[key]
+
+    def enable_auto_invalidation(self) -> None:
+        """Invalidate cached decisions whenever a container's published
+        location changes (paper §7: the library "interact[s] with the
+        orchestrator more frequently" once migration is in play).
+
+        Uses a watch on the orchestrator's KV store, so the library
+        learns about moves push-style instead of waiting out the TTL.
+        """
+        if getattr(self, "_watcher", None) is not None:
+            return
+        watch = self.orchestrator.kv.watch("/network/containers/")
+
+        def pump():
+            while True:
+                event = yield watch.queue.get()
+                name = event.key.rsplit("/", 1)[-1]
+                self.invalidate(name)
+
+        self._watcher = self.env.process(pump())
+
+    # -- connection setup ---------------------------------------------------------------
+
+    def connect_containers(self, src_name: str, dst_name: str):
+        """Raw FreeFlow channel between two containers (generator).
+
+        Benchmarks use this to measure the data plane without verbs-layer
+        overhead; the verbs path goes through :meth:`connect`.
+        """
+        decision = yield from self.resolve(src_name, dst_name)
+        channel = self._build(src_name, dst_name, decision)
+        connection = FlowConnection(src_name, dst_name, channel, decision)
+        self.connections.append(connection)
+        return connection
+
+    def connect(self, qp_a: QueuePair, qp_b: QueuePair):
+        """Connect two queue pairs through the policy-chosen channel.
+
+        Performs the standard verbs state dance (INIT → RTR → RTS) on
+        both QPs, so the application code looks exactly like the paper's
+        Fig. 5 pseudo-code.
+        """
+        src = qp_a.vnic.container
+        dst = qp_b.vnic.container
+        decision = yield from self.resolve(src.name, dst.name)
+        channel = self._build(src.name, dst.name, decision)
+        for qp in (qp_a, qp_b):
+            if qp.state is QpState.RESET:
+                qp.modify(QpState.INIT)
+            if qp.state is QpState.INIT:
+                qp.modify(QpState.RTR)
+            if qp.state is QpState.RTR:
+                qp.modify(QpState.RTS)
+        qp_a.vnic.bind(qp_a, channel.a, qp_b)
+        qp_b.vnic.bind(qp_b, channel.b, qp_a)
+        connection = FlowConnection(
+            src.name, dst.name, channel, decision, qp_a=qp_a, qp_b=qp_b
+        )
+        self.connections.append(connection)
+        return decision
+
+    def _build(
+        self, src_name: str, dst_name: str, decision: PolicyDecision
+    ) -> DuplexChannel:
+        src = self.orchestrator.lookup(src_name).container
+        dst = self.orchestrator.lookup(dst_name).container
+        src_host = self.orchestrator.locate(src_name)
+        dst_host = self.orchestrator.locate(dst_name)
+        channel = build_channel(
+            self.agent_for(src_host),
+            self.agent_for(dst_host),
+            decision.mechanism,
+            crosses_vm_boundary=(src.vm is not dst.vm),
+        )
+        if self.middlebox is not None and self.inspect(src, dst):
+            from .middlebox import wrap_channel
+
+            channel = wrap_channel(
+                channel, self.middlebox, src_host, dst_host
+            )
+        bucket_ab = self._tenant_bucket(src.tenant)
+        bucket_ba = self._tenant_bucket(dst.tenant)
+        if bucket_ab is not None or bucket_ba is not None:
+            from .ratelimit import RateLimitedLane, limit_channel
+            from ..transports.base import ChannelEnd
+
+            if bucket_ab is not None:
+                channel.lane_ab = RateLimitedLane(channel.lane_ab,
+                                                  bucket_ab)
+            if bucket_ba is not None:
+                channel.lane_ba = RateLimitedLane(channel.lane_ba,
+                                                  bucket_ba)
+            channel.a = ChannelEnd(channel.lane_ab, channel.lane_ba)
+            channel.b = ChannelEnd(channel.lane_ba, channel.lane_ab)
+        return channel
+
+    def _tenant_bucket(self, tenant: str):
+        """The shared token bucket for a rate-limited tenant (or None)."""
+        limit = self.tenant_rate_limits.get(tenant)
+        if limit is None:
+            return None
+        bucket = self._tenant_buckets.get(tenant)
+        if bucket is None:
+            from .ratelimit import TokenBucket
+
+            bucket = TokenBucket(self.env, rate_bytes_per_s=limit)
+            self._tenant_buckets[tenant] = bucket
+        return bucket
+
+    # -- failure handling (§2.1 failure-mitigation story) -----------------------
+
+    def handle_host_failure(self, host_name: str) -> list[FlowConnection]:
+        """React to a dead host: lost containers leave the overlay and
+        every connection touching them is reset.
+
+        Returns the failed connections so the application (or a
+        controller) can repair them once replacements are running.
+        """
+        from ..errors import ConnectionReset
+
+        lost = self.cluster.fail_host(host_name)
+        for name in lost:
+            self._vnics.pop(name, None)
+            self.orchestrator.deregister(name)
+            self.invalidate(name)
+        self._agents.pop(host_name, None)
+        broken = [
+            connection for connection in self.connections
+            if not connection.failed
+            and (connection.src_name in lost or connection.dst_name in lost)
+        ]
+        for connection in broken:
+            connection.failed = True
+            for lane in (connection.channel.lane_ab,
+                         connection.channel.lane_ba):
+                lane.eject_receivers(
+                    ConnectionReset(f"host {host_name} failed")
+                )
+            connection.channel.close()
+        return broken
+
+    def repair_connection(self, connection: FlowConnection):
+        """Rebuild a failed connection once both endpoints exist again
+        (generator).  The caller resubmits + re-attaches the replacement
+        container first; this re-resolves (possibly a new mechanism,
+        since the replacement may land elsewhere) and swaps the channel.
+        """
+        if not connection.failed:
+            raise OrchestrationError("connection has not failed")
+        # Both endpoints must be attached again.
+        self.vnic(connection.src_name)
+        self.vnic(connection.dst_name)
+        decision = yield from self.rebind(connection)
+        connection.failed = False
+        return decision
+
+    # -- migration hook ---------------------------------------------------------------
+
+    def rebind(self, connection: FlowConnection):
+        """Re-resolve and rebuild a connection after an endpoint moved.
+
+        Generator: costs an orchestrator query (the cache entry was
+        invalidated by the migration controller).
+        """
+        decision = yield from self.resolve(
+            connection.src_name, connection.dst_name
+        )
+        channel = self._build(
+            connection.src_name, connection.dst_name, decision
+        )
+        old = connection.channel
+        # Transplant delivered-but-unconsumed messages so nothing is lost,
+        # then eject receivers still parked on the old lanes — they retry
+        # against the new channel through the ConnectionEnd facade.
+        for old_lane, new_lane in (
+            (old.lane_ab, channel.lane_ab),
+            (old.lane_ba, channel.lane_ba),
+        ):
+            for item in list(old_lane.inbox.items):
+                new_lane.inbox.put(item)
+            old_lane.inbox.items.clear()
+        connection.channel = channel
+        connection.decision = decision
+        connection.generation += 1
+        if connection.qp_a is not None and connection.qp_b is not None:
+            connection.qp_a.vnic.rebind(
+                connection.qp_a, channel.a, connection.qp_b
+            )
+            connection.qp_b.vnic.rebind(
+                connection.qp_b, channel.b, connection.qp_a
+            )
+        else:
+            for old_lane in (old.lane_ab, old.lane_ba):
+                old_lane.eject_receivers(ChannelRebound("channel was rebound"))
+        old.close()
+        return decision

@@ -1,0 +1,171 @@
+"""FreeFlow's network orchestrator: the centralized control plane (S8).
+
+Paper §4.2: "The network orchestrator of FreeFlow maintains three kinds
+of global information: the location of each container (from cluster
+orchestrator), the assigned IP of each container and the capabilities of
+host NICs.  If containers are running on top of VMs, the network
+orchestrator also needs to know which physical machine each VM is
+located (from fabric controllers)."
+
+This class is exactly that: it *derives* its state from the cluster
+orchestrator + fabric controller (it is not a second source of truth),
+assigns overlay IPs via the IPAM, answers location/mechanism queries —
+with a modelled RPC latency, since the paper's library keeps "pulling
+the newest container location information" over the network — and pushes
+change notifications through KV-store watches so agents and libraries
+can cache without going stale forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..cluster.container import Container
+from ..cluster.kvstore import KeyValueStore, Watch
+from ..cluster.orchestrator import ClusterOrchestrator
+from ..errors import UnknownContainer
+from ..netstack.addressing import IpPool, OverlaySubnets
+from ..transports.base import Mechanism
+from .policy import MechanismPolicy, PolicyConfig, PolicyDecision
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.host import Host
+
+__all__ = ["ContainerRecord", "NetworkOrchestrator"]
+
+
+@dataclass
+class ContainerRecord:
+    """What the orchestrator knows about one registered container."""
+
+    container: Container
+    ip: str
+    generation: int
+
+    @property
+    def host_name(self) -> str:
+        return self.container.host.name
+
+
+class NetworkOrchestrator:
+    """Centralized location/IP/capability registry plus policy engine."""
+
+    def __init__(
+        self,
+        cluster: ClusterOrchestrator,
+        policy: Optional[MechanismPolicy] = None,
+        subnets: Optional[OverlaySubnets] = None,
+        query_latency_s: float = 50e-6,
+    ) -> None:
+        self.env = cluster.env
+        self.cluster = cluster
+        self.policy = policy or MechanismPolicy()
+        self.subnets = subnets or OverlaySubnets()
+        #: Modelled RPC round-trip to the orchestrator service.  The
+        #: caching ablation (E13) varies the effective cost of queries.
+        self.query_latency_s = query_latency_s
+        self.kv = KeyValueStore(cluster.env)
+        self._records: dict[str, ContainerRecord] = {}
+        self._ip_index: dict[str, str] = {}  # ip -> container name
+        self.queries_served = 0
+
+    # -- registration (control plane writes) --------------------------------------
+
+    def register(self, container: Container) -> ContainerRecord:
+        """Admit a container to the overlay: allocate/pin its IP."""
+        if container.name in self._records:
+            raise ValueError(f"container {container.name!r} already registered")
+        pool = self.subnets.pool(container.tenant)
+        ip = pool.allocate(container.spec.requested_ip)
+        container.ip = ip
+        record = ContainerRecord(container, ip, container.generation)
+        self._records[container.name] = record
+        self._ip_index[ip] = container.name
+        self._publish(record)
+        return record
+
+    def deregister(self, name: str) -> None:
+        record = self._records.pop(name, None)
+        if record is None:
+            return
+        self._ip_index.pop(record.ip, None)
+        self.subnets.pool(record.container.tenant).release(record.ip)
+        record.container.ip = None
+        self.kv.delete(f"/network/containers/{name}")
+
+    def refresh_location(self, name: str) -> ContainerRecord:
+        """Re-sync a record after the cluster moved the container."""
+        record = self._record(name)
+        record.generation = record.container.generation
+        self._publish(record)
+        return record
+
+    def _publish(self, record: ContainerRecord) -> None:
+        self.kv.put(f"/network/containers/{record.container.name}", {
+            "ip": record.ip,
+            "host": record.host_name,
+            "generation": record.generation,
+        })
+
+    # -- queries (what libraries/agents call at connection time) ---------------------
+
+    def _record(self, name: str) -> ContainerRecord:
+        try:
+            return self._records[name]
+        except KeyError:
+            raise UnknownContainer(f"{name!r} is not registered") from None
+
+    def lookup(self, name: str) -> ContainerRecord:
+        """Synchronous (zero-latency) lookup — for tests and local use."""
+        return self._record(name)
+
+    def lookup_by_ip(self, ip: str) -> ContainerRecord:
+        name = self._ip_index.get(ip)
+        if name is None:
+            raise UnknownContainer(f"no container owns IP {ip}")
+        return self._record(name)
+
+    def query_location(self, name: str):
+        """RPC-shaped location query (generator): costs a round trip."""
+        yield self.env.timeout(self.query_latency_s)
+        self.queries_served += 1
+        record = self._record(name)
+        return record
+
+    def query_mechanism(self, src_name: str, dst_name: str):
+        """RPC-shaped policy query (generator): which mechanism to use.
+
+        One round trip answers both endpoints' locations plus the
+        decision, matching the orchestrator flow in the paper's Fig. 7
+        sketch (query Mesos/fabric controller, then flag the mechanism).
+        """
+        yield self.env.timeout(self.query_latency_s)
+        self.queries_served += 1
+        return self.decide(src_name, dst_name)
+
+    def decide(self, src_name: str, dst_name: str) -> PolicyDecision:
+        """Synchronous policy decision from current global state."""
+        src = self._record(src_name).container
+        dst = self._record(dst_name).container
+        return self.policy.decide(src, dst)
+
+    def nic_capabilities(self, host_name: str) -> dict:
+        """The third kind of global information (§4.2)."""
+        host = self.cluster.host(host_name)
+        return {
+            "model": host.nic.spec.model,
+            "rdma": host.rdma_capable,
+            "dpdk": host.dpdk_capable,
+            "link_rate_bps": host.nic.spec.link_rate_bps,
+        }
+
+    def watch_container(self, name: str) -> Watch:
+        """Subscribe to placement/IP changes of one container."""
+        return self.kv.watch(f"/network/containers/{name}")
+
+    # -- convenience --------------------------------------------------------------
+
+    def locate(self, name: str) -> "Host":
+        """Physical host (resolving VMs through the fabric controller)."""
+        return self.cluster.locate(name)

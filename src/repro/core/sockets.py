@@ -1,0 +1,317 @@
+"""Socket API translated onto RDMA Verbs (paper §4.2's abstraction).
+
+"There are already libraries available to translate TCP/IP [rsocket]
+and MPI APIs to RDMA Verbs semantics" — this module is that translation
+layer for sockets: ``listen``/``accept``/``connect`` plus byte-stream
+``send``/``recv``, implemented entirely with verbs SEND/RECV on a
+connected queue pair.
+
+Translation costs are explicit so bench E16 can measure the tax:
+
+* a fixed per-call CPU cost (:data:`SOCKET_TRANSLATION_CYCLES`);
+* a bounce-buffer copy for *small* sends (below
+  :data:`ZERO_COPY_THRESHOLD_BYTES`), mirroring how rsocket copies small
+  payloads into pre-registered buffers but maps large ones zero-copy.
+
+Flow control falls out of verbs semantics: the receiving socket keeps a
+window of pre-posted RECVs and reposts one per consumed message, so a
+slow receiver exerts RNR backpressure on the sender.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..errors import ConnectionRefused, SocketError
+from ..netstack.packet import EndpointAddr
+from ..sim.resources import Store
+from .verbs import Opcode, WorkRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.container import Container
+    from .network import FreeFlowNetwork
+
+__all__ = [
+    "SOCKET_TRANSLATION_CYCLES",
+    "ZERO_COPY_THRESHOLD_BYTES",
+    "SocketLayer",
+    "FreeFlowListener",
+    "FreeFlowSocket",
+]
+
+#: CPU cycles per socket call spent translating to verbs semantics.
+SOCKET_TRANSLATION_CYCLES = 500.0
+
+#: Sends below this size are copied into a registered bounce buffer;
+#: larger sends are transferred zero-copy (rsocket riomap behaviour).
+ZERO_COPY_THRESHOLD_BYTES = 16 * 1024
+
+#: Largest single verbs SEND a socket issues; bigger writes fragment.
+MAX_FRAGMENT_BYTES = 1024 * 1024
+
+#: Pre-posted receive window per socket (messages).
+RECV_CREDITS = 64
+
+#: Immediate-data tag marking a FIN (orderly shutdown) control message.
+FIN_IMM = 0x46494E
+
+
+class _Fin:
+    """Sentinel payload for the FIN control message."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<FIN>"
+
+
+_FIN = _Fin()
+
+_wr_ids = itertools.count(1)
+
+
+class SocketLayer:
+    """Per-network registry of listening sockets."""
+
+    def __init__(self, network: "FreeFlowNetwork") -> None:
+        self.network = network
+        self.env = network.env
+        self._listeners: dict[EndpointAddr, "FreeFlowListener"] = {}
+
+    def socket(self, container: "Container") -> "FreeFlowSocket":
+        """An unconnected socket owned by ``container``."""
+        return FreeFlowSocket(self, container)
+
+    def listen(
+        self, container: "Container", port: int, backlog: int = 16
+    ) -> "FreeFlowListener":
+        """Bind+listen on (container's overlay IP, port)."""
+        if container.ip is None:
+            raise SocketError(
+                f"{container.name} has no overlay IP; attach it first"
+            )
+        addr = EndpointAddr(container.ip, port)
+        if addr in self._listeners:
+            raise SocketError(f"address {addr} already in use")
+        listener = FreeFlowListener(self, container, addr, backlog)
+        self._listeners[addr] = listener
+        return listener
+
+    def _lookup_listener(self, addr: EndpointAddr) -> "FreeFlowListener":
+        listener = self._listeners.get(addr)
+        if listener is None or listener.closed:
+            raise ConnectionRefused(f"nothing listening at {addr}")
+        return listener
+
+    def _unbind(self, addr: EndpointAddr) -> None:
+        self._listeners.pop(addr, None)
+
+
+class FreeFlowListener:
+    """A passive socket: accepts inbound FreeFlow connections."""
+
+    def __init__(
+        self,
+        layer: SocketLayer,
+        container: "Container",
+        addr: EndpointAddr,
+        backlog: int,
+    ) -> None:
+        self.layer = layer
+        self.container = container
+        self.addr = addr
+        self.closed = False
+        self._pending: Store = Store(layer.env, capacity=backlog)
+
+    def accept(self):
+        """Blocking accept (generator): returns a connected socket."""
+        if self.closed:
+            raise SocketError("listener is closed")
+        sock = yield self._pending.get()
+        return sock
+
+    def _enqueue(self, sock: "FreeFlowSocket"):
+        yield self._pending.put(sock)
+
+    def close(self) -> None:
+        self.closed = True
+        self.layer._unbind(self.addr)
+
+
+class FreeFlowSocket:
+    """A connected byte-stream over verbs SEND/RECV."""
+
+    def __init__(self, layer: SocketLayer, container: "Container") -> None:
+        self.layer = layer
+        self.container = container
+        self.env = layer.env
+        self.vnic = layer.network.vnic(container.name)
+        self.connected = False
+        self.closed = False
+        self.peer_addr: Optional[EndpointAddr] = None
+        self.local_addr: Optional[EndpointAddr] = None
+        self._qp = None
+        self._recv_mr = None
+        self._rx_buffer: deque = deque()  # (remaining_bytes, payload)
+        self._rx_wc: Optional[Store] = None
+        self.mechanism = None
+        #: Set once the peer performed an orderly shutdown (FIN seen).
+        self.peer_closed = False
+
+    # -- connection setup ------------------------------------------------------------
+
+    def _make_endpoint(self):
+        pd = self.vnic.alloc_pd()
+        send_cq = self.vnic.create_cq()
+        recv_cq = self.vnic.create_cq(depth=4 * RECV_CREDITS)
+        qp = self.vnic.create_qp(pd, send_cq, recv_cq)
+        mr = self.vnic.reg_mr(pd, MAX_FRAGMENT_BYTES)
+        return qp, mr
+
+    def connect(self, ip: str, port: int):
+        """Active open (generator): rendezvous through the orchestrator."""
+        if self.connected:
+            raise SocketError("socket is already connected")
+        record = self.layer.network.orchestrator.lookup_by_ip(ip)
+        addr = EndpointAddr(ip, port)
+        listener = self.layer._lookup_listener(addr)
+        if listener.container is not record.container:
+            raise SocketError(
+                f"listener at {addr} does not belong to the IP's owner"
+            )
+        server_sock = FreeFlowSocket(self.layer, listener.container)
+
+        self._qp, self._recv_mr = self._make_endpoint()
+        server_sock._qp, server_sock._recv_mr = server_sock._make_endpoint()
+
+        decision = yield from self.layer.network.connect(
+            self._qp, server_sock._qp
+        )
+        self.mechanism = server_sock.mechanism = decision.mechanism
+        for sock in (self, server_sock):
+            sock._post_initial_credits()
+            sock.connected = True
+        self.peer_addr = addr
+        self.local_addr = EndpointAddr(self.container.ip or "0.0.0.0", 0)
+        server_sock.local_addr = addr
+        server_sock.peer_addr = self.local_addr
+        yield from listener._enqueue(server_sock)
+        return decision
+
+    def _post_initial_credits(self) -> None:
+        assert self._qp is not None and self._recv_mr is not None
+        for _ in range(RECV_CREDITS):
+            self._qp.post_recv(WorkRequest(
+                opcode=Opcode.RECV, length=MAX_FRAGMENT_BYTES,
+                wr_id=next(_wr_ids), local_mr=self._recv_mr,
+            ))
+
+    # -- data transfer ---------------------------------------------------------------
+
+    def send(self, nbytes: int, payload: Any = None):
+        """Write ``nbytes`` to the stream (generator; returns bytes sent)."""
+        self._require_open()
+        if nbytes <= 0:
+            raise SocketError(f"send size must be positive, got {nbytes}")
+        host = self.container.host
+        remaining = nbytes
+        first = True
+        while remaining > 0:
+            fragment = min(remaining, MAX_FRAGMENT_BYTES)
+            yield from host.cpu.execute(SOCKET_TRANSLATION_CYCLES)
+            if fragment < ZERO_COPY_THRESHOLD_BYTES:
+                # Bounce-buffer copy into registered memory.
+                yield from host.memcpy(fragment)
+            wr = WorkRequest(
+                opcode=Opcode.SEND, length=fragment,
+                wr_id=next(_wr_ids),
+                payload=payload if first else None,
+                signaled=False,
+            )
+            yield from self._qp.post_send(wr)
+            remaining -= fragment
+            first = False
+        return nbytes
+
+    def recv(self, max_bytes: int = 1 << 30):
+        """Read up to ``max_bytes`` from the stream (generator).
+
+        Returns ``(nbytes, payload)`` where payload is the application
+        object attached to the first consumed message (stream semantics:
+        fragments may be combined or split exactly like TCP).  After the
+        peer shuts down, returns ``(0, None)`` — the classic EOF.
+        """
+        self._require_open()
+        if max_bytes <= 0:
+            raise SocketError(f"recv size must be positive, got {max_bytes}")
+        host = self.container.host
+        yield from host.cpu.execute(SOCKET_TRANSLATION_CYCLES)
+        if not self._rx_buffer:
+            if self.peer_closed:
+                return 0, None
+            yield from self._fill_rx_buffer()
+            if not self._rx_buffer and self.peer_closed:
+                return 0, None
+        got = 0
+        payload = None
+        while self._rx_buffer and got < max_bytes:
+            remaining, data = self._rx_buffer[0]
+            take = min(remaining, max_bytes - got)
+            got += take
+            if payload is None:
+                payload = data
+            if take == remaining:
+                self._rx_buffer.popleft()
+            else:
+                self._rx_buffer[0] = (remaining - take, data)
+        return got, payload
+
+    def recv_exactly(self, nbytes: int):
+        """Loop :meth:`recv` until exactly ``nbytes`` arrived (generator)."""
+        got = 0
+        payload = None
+        while got < nbytes:
+            chunk, data = yield from self.recv(nbytes - got)
+            if payload is None:
+                payload = data
+            got += chunk
+        return got, payload
+
+    def _fill_rx_buffer(self):
+        """Block for the next completed RECV and repost its credit."""
+        assert self._qp is not None
+        wc = yield from self._qp.recv_cq.wait()
+        if not wc.ok:
+            raise SocketError(f"receive failed: {wc.status.value}")
+        if wc.payload is _FIN or wc.imm_data == FIN_IMM:
+            self.peer_closed = True
+            return
+        self._rx_buffer.append((wc.byte_len, wc.payload))
+        self._qp.post_recv(WorkRequest(
+            opcode=Opcode.RECV, length=MAX_FRAGMENT_BYTES,
+            wr_id=next(_wr_ids), local_mr=self._recv_mr,
+        ))
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise SocketError("socket is closed")
+        if not self.connected:
+            raise SocketError("socket is not connected")
+
+    def shutdown(self):
+        """Orderly shutdown (generator): sends FIN; the peer's next
+        ``recv`` after draining buffered data returns EOF."""
+        if not self.connected or self.closed:
+            self.close()
+            return
+        yield from self.container.host.cpu.execute(SOCKET_TRANSLATION_CYCLES)
+        yield from self._qp.post_send(WorkRequest(
+            opcode=Opcode.SEND, length=1, wr_id=next(_wr_ids),
+            payload=_FIN, imm_data=FIN_IMM, signaled=False,
+        ))
+        self.close()
+
+    def close(self) -> None:
+        """Abrupt local close (no FIN); use :meth:`shutdown` for EOF."""
+        self.closed = True
+        self.connected = False

@@ -1,0 +1,122 @@
+"""Exception hierarchy for the FreeFlow reproduction.
+
+Every library-raised error derives from :class:`FreeFlowError`, so callers
+can catch the whole family; the sub-classes mirror the paper's subsystems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FreeFlowError",
+    "AddressError",
+    "AddressExhausted",
+    "RoutingError",
+    "TransportError",
+    "TransportUnavailable",
+    "VerbsError",
+    "QueuePairStateError",
+    "MemoryRegionError",
+    "CompletionError",
+    "OrchestrationError",
+    "UnknownContainer",
+    "PlacementError",
+    "SocketError",
+    "ConnectionRefused",
+    "ConnectionReset",
+    "MigrationError",
+]
+
+
+class FreeFlowError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# -- addressing / routing --------------------------------------------------
+
+
+class AddressError(FreeFlowError):
+    """Invalid or conflicting network address."""
+
+
+class AddressExhausted(AddressError):
+    """The IPAM pool has no free addresses left."""
+
+
+class RoutingError(FreeFlowError):
+    """No route to the destination container/agent."""
+
+
+# -- data plane --------------------------------------------------------------
+
+
+class TransportError(FreeFlowError):
+    """A data-plane mechanism failed to deliver."""
+
+
+class TransportUnavailable(TransportError):
+    """The requested mechanism is not usable here (e.g. no RDMA NIC)."""
+
+
+# -- verbs / vNIC -------------------------------------------------------------
+
+
+class VerbsError(FreeFlowError):
+    """Misuse of the RDMA Verbs API surface."""
+
+
+class QueuePairStateError(VerbsError):
+    """Operation not permitted in the queue pair's current state."""
+
+
+class MemoryRegionError(VerbsError):
+    """Bad memory-region key or out-of-bounds access."""
+
+
+class CompletionError(VerbsError):
+    """A work request completed with an error status."""
+
+
+# -- orchestration -------------------------------------------------------------
+
+
+class OrchestrationError(FreeFlowError):
+    """Control-plane failure (orchestrator or agent)."""
+
+
+class UnknownContainer(OrchestrationError):
+    """The orchestrator has no record of the named container."""
+
+
+class PlacementError(OrchestrationError):
+    """The cluster scheduler could not place a container."""
+
+
+# -- socket translation --------------------------------------------------------
+
+
+class SocketError(FreeFlowError):
+    """Socket-over-verbs layer error."""
+
+
+class ConnectionRefused(SocketError):
+    """No listener at the destination IP:port."""
+
+
+class ConnectionReset(SocketError):
+    """The peer endpoint went away mid-connection."""
+
+
+# -- migration -------------------------------------------------------------------
+
+
+class MigrationError(FreeFlowError):
+    """Live migration could not complete."""
+
+
+class ChannelRebound(FreeFlowError):
+    """Internal signal: the channel under a connection was swapped.
+
+    Receivers parked on the old channel are ejected with this exception
+    and transparently retry on the new channel; applications never see it
+    unless they bypass the connection facade.
+    """

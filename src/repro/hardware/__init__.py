@@ -1,0 +1,55 @@
+"""Hardware models (substrate S2): the simulated testbed.
+
+CPU cores, the memory bus, NICs with RDMA engines, the switched fabric,
+hosts and VMs — calibrated in :mod:`repro.hardware.specs` against the
+paper's Xeon + Mellanox CX3 testbed.
+"""
+
+from .bandwidth import BandwidthPipe
+from .cpu import CoreClaim, CpuSet
+from .host import Host
+from .link import Fabric
+from .memory import MemoryBus
+from .nic import PhysicalNic
+from .specs import (
+    GBPS,
+    NO_RDMA_TESTBED,
+    PAPER_TESTBED,
+    CpuSpec,
+    DpdkSpec,
+    HostSpec,
+    KernelStackSpec,
+    MemorySpec,
+    NicSpec,
+    OverlayRouterSpec,
+    ShmSpec,
+    VmSpec,
+    gbps,
+    to_gbps,
+)
+from .vm import VirtualMachine
+
+__all__ = [
+    "BandwidthPipe",
+    "CoreClaim",
+    "CpuSet",
+    "CpuSpec",
+    "DpdkSpec",
+    "Fabric",
+    "GBPS",
+    "Host",
+    "HostSpec",
+    "KernelStackSpec",
+    "MemoryBus",
+    "MemorySpec",
+    "NO_RDMA_TESTBED",
+    "NicSpec",
+    "OverlayRouterSpec",
+    "PAPER_TESTBED",
+    "PhysicalNic",
+    "ShmSpec",
+    "VirtualMachine",
+    "VmSpec",
+    "gbps",
+    "to_gbps",
+]

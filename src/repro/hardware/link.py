@@ -1,0 +1,162 @@
+"""Physical network fabric: links between hosts through a switch.
+
+The default model is a non-blocking switch (standard for a managed
+datacenter fabric, which the paper assumes: "deployed over managed
+network fabrics") with store-and-forward latency.  Each host's NIC
+contributes its own egress and ingress pipes, so the bottlenecks are the
+end links — which is where 40 Gb/s RDMA tops out — while the fabric core
+never congests.
+
+An optional **two-tier mode** models rack oversubscription: assign NICs
+to racks with :meth:`Fabric.assign_rack` and give the fabric a shared
+``core_rate_bps``; cross-rack traffic then also traverses the contended
+core pipe (plus one more switch hop), while intra-rack traffic keeps the
+non-blocking path.  This is what makes rack-locality experiments (bench
+E22) possible.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.scheduler import Environment
+    from .nic import PhysicalNic
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """A switched network connecting every attached NIC to every other."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        switch_latency_s: float = 0.6e-6,
+        propagation_s: float = 0.4e-6,
+        core_rate_bps: "float | None" = None,
+        core_chunk_bytes: int = 64 * 1024,
+    ) -> None:
+        self.env = env
+        self.switch_latency_s = switch_latency_s
+        self.propagation_s = propagation_s
+        self._nics: list["PhysicalNic"] = []
+        #: Per-(src, dst) landing queues: arrivals at a destination NIC
+        #: from one source are processed strictly in order, so a small
+        #: message can never overtake a large one on the same path.
+        self._landing: dict[tuple[int, int], object] = {}
+        #: Optional two-tier mode: rack membership + shared core pipe.
+        self._racks: dict[int, str] = {}
+        if core_rate_bps is not None:
+            from .bandwidth import BandwidthPipe
+
+            self.core = BandwidthPipe(
+                env, rate_bytes=core_rate_bps / 8.0,
+                chunk_bytes=core_chunk_bytes, name="fabric-core",
+            )
+        else:
+            self.core = None
+
+    def attach(self, nic: "PhysicalNic") -> None:
+        """Plug a NIC into the fabric."""
+        if nic in self._nics:
+            raise ValueError(f"{nic!r} already attached")
+        self._nics.append(nic)
+        nic.fabric = self
+
+    @property
+    def nics(self) -> tuple["PhysicalNic", ...]:
+        return tuple(self._nics)
+
+    # -- two-tier topology ---------------------------------------------------
+
+    def assign_rack(self, nic: "PhysicalNic", rack: str) -> None:
+        """Place a NIC (i.e. its host) into a rack."""
+        if nic not in self._nics:
+            raise ValueError(f"{nic!r} is not attached to this fabric")
+        self._racks[id(nic)] = rack
+
+    def rack_of(self, nic: "PhysicalNic") -> "str | None":
+        return self._racks.get(id(nic))
+
+    def crosses_core(self, src: "PhysicalNic", dst: "PhysicalNic") -> bool:
+        """True when traffic between the NICs traverses the shared core."""
+        if self.core is None:
+            return False
+        src_rack = self._racks.get(id(src))
+        dst_rack = self._racks.get(id(dst))
+        if src_rack is None or dst_rack is None:
+            return False
+        return src_rack != dst_rack
+
+    @property
+    def one_way_latency_s(self) -> float:
+        """Propagation + switching delay, excluding serialisation."""
+        return self.switch_latency_s + self.propagation_s
+
+    def send(
+        self,
+        src: "PhysicalNic",
+        dst: "PhysicalNic",
+        wire_bytes: float,
+        deliver: Callable[[], None],
+        priority: int = 0,
+    ):
+        """Carry ``wire_bytes`` from ``src`` to ``dst`` (generator).
+
+        The calling process pays the *egress* serialisation; propagation
+        and the destination's ingress happen in a spawned process so that
+        back-to-back sends pipeline, as on a real wire.  ``deliver`` is
+        invoked once the last byte has cleared the destination NIC.
+        """
+        if src.fabric is not self or dst.fabric is not self:
+            raise ValueError("both NICs must be attached to this fabric")
+        if src is dst:
+            raise ValueError("use host-local channels for loopback traffic")
+        yield from src.egress.transfer(wire_bytes, priority=priority)
+        crosses_core = self.crosses_core(src, dst)
+        latency = self.one_way_latency_s
+        if crosses_core:
+            latency += self.switch_latency_s  # one more hop
+        queue = self._landing_queue(src, dst)
+        queue.put((self.env.now + latency, wire_bytes,
+                   priority, deliver, crosses_core))
+
+    def _landing_queue(self, src: "PhysicalNic", dst: "PhysicalNic"):
+        from ..sim.resources import Store
+
+        key = (id(src), id(dst))
+        queue = self._landing.get(key)
+        if queue is None:
+            queue = Store(self.env)
+            ingress_queue = Store(self.env)
+            self._landing[key] = queue
+            # Two chained stage workers per path: the core stage and the
+            # ingress stage pipeline across messages while each stage
+            # stays FIFO, so order is preserved at full stage rate.
+            self.env.process(self._core_worker(queue, ingress_queue))
+            self.env.process(self._ingress_worker(dst, ingress_queue))
+        return queue
+
+    def _core_worker(self, queue, ingress_queue):
+        """Stage 1: propagation wait + (optional) shared-core traversal."""
+        while True:
+            (arrival_at, wire_bytes, priority, deliver,
+             crosses_core) = yield queue.get()
+            wait = arrival_at - self.env.now
+            if wait > 0:
+                yield self.env.timeout(wait)
+            if crosses_core and self.core is not None:
+                yield from self.core.transfer(wire_bytes, priority=priority)
+            ingress_queue.put((wire_bytes, priority, deliver))
+
+    def _ingress_worker(self, dst: "PhysicalNic", ingress_queue):
+        """Stage 2: destination-NIC ingress serialisation + delivery."""
+        while True:
+            wire_bytes, priority, deliver = yield ingress_queue.get()
+            yield from dst.ingress.transfer(wire_bytes, priority=priority)
+            deliver()
+
+    def path_latency(self, wire_bytes: float, rate_bytes: float) -> float:
+        """Closed-form uncontended one-way latency (for sanity checks)."""
+        return wire_bytes / rate_bytes * 2 + self.one_way_latency_s

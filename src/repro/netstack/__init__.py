@@ -1,0 +1,29 @@
+"""Kernel networking substrate (S3/S4): the data planes FreeFlow replaces.
+
+IP address management, routing mesh, the kernel TCP path (host mode),
+the veth/bridge hop (docker0) and the user-space overlay router (Weave
+style) — the "deep software stack" of the paper's Fig. 3(a).
+"""
+
+from .addressing import IpPool, OverlaySubnets
+from .bridge import SoftwareBridge
+from .overlay import OverlayRouter
+from .packet import EndpointAddr, Message, segment_count
+from .routing import RouteTable, RoutingMesh
+from .tcp import TcpConnection, TcpEnd, TcpMode, TcpStats
+
+__all__ = [
+    "EndpointAddr",
+    "IpPool",
+    "Message",
+    "OverlayRouter",
+    "OverlaySubnets",
+    "RouteTable",
+    "RoutingMesh",
+    "SoftwareBridge",
+    "TcpConnection",
+    "TcpEnd",
+    "TcpMode",
+    "TcpStats",
+    "segment_count",
+]

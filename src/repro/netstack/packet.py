@@ -1,0 +1,62 @@
+"""Message and addressing records shared across the data planes.
+
+The simulation moves *messages* (application writes), not individual MTU
+packets: with TSO/GRO the kernel's unit of work is a 64 KB segment, and
+per-MTU behaviour only matters for wire overhead, which
+:meth:`~repro.hardware.specs.KernelStackSpec.wire_bytes` accounts for.
+Each message carries enough metadata for functional delivery (who sent
+it, to which endpoint) and for measurement (timestamps)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["EndpointAddr", "Message", "segment_count"]
+
+_message_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, order=True)
+class EndpointAddr:
+    """An overlay endpoint: IP address string plus port."""
+
+    ip: str
+    port: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.ip}:{self.port}"
+
+
+@dataclass
+class Message:
+    """One application-level message traversing a data plane."""
+
+    size_bytes: int
+    src: Optional[EndpointAddr] = None
+    dst: Optional[EndpointAddr] = None
+    payload: Any = None
+    meta: dict = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    #: Simulation timestamps, filled in by the transports.
+    sent_at: float = float("nan")
+    delivered_at: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"negative message size {self.size_bytes}")
+
+    @property
+    def latency(self) -> float:
+        """End-to-end delivery time (NaN until delivered)."""
+        return self.delivered_at - self.sent_at
+
+
+def segment_count(payload_bytes: int, segment_bytes: int) -> int:
+    """How many kernel segments a payload becomes (at least one)."""
+    if segment_bytes <= 0:
+        raise ValueError(f"segment size must be positive, got {segment_bytes}")
+    if payload_bytes <= 0:
+        return 1
+    return -(-payload_bytes // segment_bytes)

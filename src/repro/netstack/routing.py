@@ -1,0 +1,142 @@
+"""Overlay routing: per-host route tables plus a BGP-like mesh.
+
+Existing overlay solutions (the paper names Calico/Weave for distributed
+BGP-style routing and Docker overlay/DaoliNet for centralized OVS-based
+routing, §4.1) all converge on the same artifact: every host's router
+knows which host currently owns each container IP.  We model that with a
+:class:`RoutingMesh` that floods announcements to every
+:class:`RouteTable` after a convergence delay — enough fidelity to study
+staleness (migration experiments) without simulating a full BGP FSM.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import RoutingError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.scheduler import Environment
+
+__all__ = ["RouteTable", "RoutingMesh"]
+
+
+class RouteTable:
+    """Longest-prefix-match table mapping overlay prefixes to host names."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._routes: dict[ipaddress.IPv4Network, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def install(self, prefix: str, next_hop: str) -> None:
+        """Insert/replace the route for ``prefix`` (CIDR or bare IP)."""
+        network = self._parse(prefix)
+        self._routes[network] = next_hop
+
+    def withdraw(self, prefix: str) -> None:
+        network = self._parse(prefix)
+        self._routes.pop(network, None)
+
+    def lookup(self, ip: str) -> str:
+        """Return the owning host for ``ip`` (longest prefix wins)."""
+        try:
+            address = ipaddress.ip_address(ip)
+        except ValueError as exc:
+            raise RoutingError(f"bad address {ip!r}: {exc}") from exc
+        best: Optional[tuple[int, str]] = None
+        for network, next_hop in self._routes.items():
+            if address in network:
+                if best is None or network.prefixlen > best[0]:
+                    best = (network.prefixlen, next_hop)
+        if best is None:
+            raise RoutingError(f"{self.owner}: no route to {ip}")
+        return best[1]
+
+    def knows(self, ip: str) -> bool:
+        try:
+            self.lookup(ip)
+            return True
+        except RoutingError:
+            return False
+
+    @staticmethod
+    def _parse(prefix: str) -> ipaddress.IPv4Network:
+        try:
+            if "/" in prefix:
+                return ipaddress.ip_network(prefix, strict=True)
+            return ipaddress.ip_network(f"{prefix}/32", strict=True)
+        except ValueError as exc:
+            raise RoutingError(f"bad prefix {prefix!r}: {exc}") from exc
+
+
+class RoutingMesh:
+    """Floods host-route announcements to all participating tables.
+
+    ``convergence_delay_s`` models the protocol propagation time (BGP
+    update or OVS flow-mod push); until it elapses, other routers still
+    hold the previous route — the staleness window FreeFlow's central
+    orchestrator sidesteps."""
+
+    def __init__(self, env: "Environment", convergence_delay_s: float = 0.05) -> None:
+        self.env = env
+        self.convergence_delay_s = convergence_delay_s
+        self._tables: dict[str, RouteTable] = {}
+
+    def join(self, owner: str) -> RouteTable:
+        """Register a router and get its (initially empty) table."""
+        if owner in self._tables:
+            raise RoutingError(f"router {owner!r} already joined the mesh")
+        table = RouteTable(owner)
+        self._tables[owner] = table
+        return table
+
+    def leave(self, owner: str) -> None:
+        self._tables.pop(owner, None)
+
+    def table(self, owner: str) -> RouteTable:
+        try:
+            return self._tables[owner]
+        except KeyError:
+            raise RoutingError(f"unknown router {owner!r}") from None
+
+    def announce(self, prefix: str, next_hop: str, immediate: bool = False) -> None:
+        """Announce ``prefix -> next_hop`` from its owner to the mesh.
+
+        The announcing host's own table updates instantly; every other
+        table converges after the mesh delay (or instantly when
+        ``immediate`` — useful for initial bring-up)."""
+        if next_hop in self._tables:
+            self._tables[next_hop].install(prefix, next_hop)
+
+        others = [t for name, t in self._tables.items() if name != next_hop]
+        if immediate or self.convergence_delay_s <= 0:
+            for table in others:
+                table.install(prefix, next_hop)
+            return
+
+        def _flood():
+            yield self.env.timeout(self.convergence_delay_s)
+            for table in others:
+                # A router may have left while the update was in flight.
+                if table.owner in self._tables:
+                    table.install(prefix, next_hop)
+
+        self.env.process(_flood())
+
+    def withdraw(self, prefix: str, immediate: bool = False) -> None:
+        """Withdraw a prefix from every table (same delay semantics)."""
+        if immediate or self.convergence_delay_s <= 0:
+            for table in self._tables.values():
+                table.withdraw(prefix)
+            return
+
+        def _flood():
+            yield self.env.timeout(self.convergence_delay_s)
+            for table in list(self._tables.values()):
+                table.withdraw(prefix)
+
+        self.env.process(_flood())

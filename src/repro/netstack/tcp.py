@@ -1,0 +1,299 @@
+"""The kernel TCP/IP data path between two container endpoints.
+
+This is the "deep software stack" of the paper's Fig. 3(a), built as a
+pipeline of stages so that throughput limits *emerge* from CPU, wire and
+router contention instead of being asserted:
+
+    sender syscall+stack (CPU, inline)           <- send() blocks here
+      └─ [bridge hop, inline, bridge mode]
+    window (socket-buffer backpressure)
+    tx stage: wire serialisation / overlay router
+    rx stage: receiver softirq+copy (CPU, worker)
+    inbox                                        <- recv() blocks here
+
+Three modes mirror the paper's taxonomy:
+
+* ``HOST``    — container binds the host interface; pure stack hairpin.
+* ``BRIDGE``  — docker0: veth+bridge surcharge inline on the sender path.
+* ``OVERLAY`` — everything hairpins through the per-host user-space
+  router (:class:`~repro.netstack.overlay.OverlayRouter`), twice for
+  inter-host traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import TransportError
+from ..sim.resources import Store, Tank
+from .bridge import SoftwareBridge
+from .overlay import OverlayRouter
+from .packet import EndpointAddr, Message, segment_count
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.host import Host
+
+__all__ = ["TcpMode", "TcpConnection", "TcpEnd", "TcpStats"]
+
+
+class TcpMode(enum.Enum):
+    """Which container-networking flavour carries the connection."""
+
+    HOST = "host"
+    BRIDGE = "bridge"
+    OVERLAY = "overlay"
+
+
+@dataclass
+class TcpStats:
+    """Per-direction delivery counters."""
+
+    messages: int = 0
+    messages_sent: int = 0
+    payload_bytes: int = 0
+    latencies: list = field(default_factory=list)
+
+    @property
+    def messages_delivered(self) -> int:
+        """Alias matching the transport-lane stats interface."""
+        return self.messages
+
+
+class _Direction:
+    """One direction of a duplex TCP connection (its own pipeline)."""
+
+    def __init__(
+        self,
+        conn: "TcpConnection",
+        src_host: "Host",
+        dst_host: "Host",
+        src_addr: EndpointAddr,
+        dst_addr: EndpointAddr,
+        src_router: Optional[OverlayRouter],
+        dst_router: Optional[OverlayRouter],
+        src_bridge: Optional[SoftwareBridge],
+        dst_bridge: Optional[SoftwareBridge],
+    ) -> None:
+        self.conn = conn
+        self.env = conn.env
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.src_addr = src_addr
+        self.dst_addr = dst_addr
+        self.src_router = src_router
+        self.dst_router = dst_router
+        self.src_bridge = src_bridge
+        self.dst_bridge = dst_bridge
+        self.kernel = src_host.spec.kernel
+        self.window = Tank(conn.env, capacity=conn.window_bytes)
+        self.rx_queue: Store = Store(conn.env)
+        self.inbox: Store = Store(conn.env)
+        self.stats = TcpStats()
+        self._closed = False
+        conn.env.process(self._rx_worker())
+        if self._needs_tx_worker():
+            self.tx_queue: Optional[Store] = Store(conn.env)
+            conn.env.process(self._tx_worker())
+        else:
+            self.tx_queue = None
+        if self.dst_router is not None:
+            self.dst_router.register(dst_addr, self._router_deliver)
+
+    # -- send path ---------------------------------------------------------------
+
+    def send(self, nbytes: int, payload=None):
+        """Sender-side path (generator): syscall, stack CPU, window."""
+        if self._closed:
+            raise TransportError("connection closed")
+        message = Message(
+            size_bytes=nbytes, src=self.src_addr, dst=self.dst_addr, payload=payload
+        )
+        message.sent_at = self.env.now
+        self.stats.messages_sent += 1
+        cycles = self._send_cycles(nbytes)
+        yield from self.src_host.cpu.execute(cycles)
+        yield self.window.put(max(1, nbytes))
+        yield self.env.timeout(self.kernel.stack_latency_s)
+        self._dispatch(message)
+        return message
+
+    def _send_cycles(self, nbytes: int) -> float:
+        segments = segment_count(nbytes, self.kernel.segment_bytes)
+        cycles = (
+            self.kernel.syscall_cycles
+            + nbytes * self.kernel.send_cycles_per_byte
+            + segments * self.kernel.per_segment_cycles
+        )
+        if self.src_bridge is not None:
+            cycles += self.src_bridge.forwarding_cycles(nbytes)
+            self.src_bridge.account(nbytes)
+        return cycles
+
+    def _dispatch(self, message: Message) -> None:
+        """Hand the message to the mid-path (router, wire or loopback)."""
+        if self.src_router is not None:
+            self.src_router.submit(message)
+        elif self.src_host is self.dst_host:
+            self.rx_queue.put(message)
+        else:
+            assert self.tx_queue is not None
+            self.tx_queue.put(message)
+
+    def _needs_tx_worker(self) -> bool:
+        return self.src_router is None and self.src_host is not self.dst_host
+
+    def _tx_worker(self):
+        """Wire stage: serialises onto the sender's NIC (device layer)."""
+        fabric = self.src_host.fabric
+        while True:
+            message = yield self.tx_queue.get()
+            if fabric is None:
+                raise TransportError(
+                    f"hosts {self.src_host.name}/{self.dst_host.name} share no fabric"
+                )
+            wire = self.kernel.wire_bytes(message.size_bytes)
+            yield from fabric.send(
+                self.src_host.nic,
+                self.dst_host.nic,
+                wire,
+                deliver=lambda m=message: self.rx_queue.put(m),
+            )
+
+    def _router_deliver(self, message: Message) -> None:
+        """Entry point the destination overlay router delivers into."""
+        self.rx_queue.put(message)
+
+    # -- receive path ----------------------------------------------------------------
+
+    def _rx_worker(self):
+        """Receiver softirq + copy-to-user stage (serial per connection)."""
+        while True:
+            message = yield self.rx_queue.get()
+            cycles = self._recv_cycles(message.size_bytes)
+            yield from self.dst_host.cpu.execute(cycles)
+            yield self.env.timeout(self.kernel.stack_latency_s)
+            yield self.window.get(max(1, message.size_bytes))
+            message.delivered_at = self.env.now
+            self.stats.messages += 1
+            self.stats.payload_bytes += message.size_bytes
+            self.stats.latencies.append(message.latency)
+            self.inbox.put(message)
+
+    def _recv_cycles(self, nbytes: int) -> float:
+        segments = segment_count(nbytes, self.kernel.segment_bytes)
+        cycles = (
+            self.kernel.syscall_cycles
+            + nbytes * self.kernel.recv_cycles_per_byte
+            + segments * self.kernel.per_segment_cycles
+        )
+        if self.dst_bridge is not None:
+            cycles += self.dst_bridge.forwarding_cycles(nbytes)
+            self.dst_bridge.account(nbytes)
+        return cycles
+
+    def recv(self):
+        """Receiver-side blocking read (generator)."""
+        message = yield self.inbox.get()
+        return message
+
+    def close(self) -> None:
+        self._closed = True
+        if self.dst_router is not None:
+            self.dst_router.unregister(self.dst_addr)
+
+
+class TcpEnd:
+    """One side of a duplex connection: an outgoing and incoming lane."""
+
+    def __init__(self, out_lane: _Direction, in_lane: _Direction) -> None:
+        self._out = out_lane
+        self._in = in_lane
+
+    @property
+    def local_addr(self) -> EndpointAddr:
+        return self._out.src_addr
+
+    @property
+    def peer_addr(self) -> EndpointAddr:
+        return self._out.dst_addr
+
+    def send(self, nbytes: int, payload=None):
+        """Send ``nbytes`` to the peer (generator; yield from it)."""
+        result = yield from self._out.send(nbytes, payload)
+        return result
+
+    def recv(self):
+        """Receive the next message from the peer (generator)."""
+        message = yield from self._in.recv()
+        return message
+
+    @property
+    def recv_stats(self) -> TcpStats:
+        return self._in.stats
+
+
+class TcpConnection:
+    """A duplex kernel-TCP connection between two container endpoints.
+
+    Parameters
+    ----------
+    mode:
+        Which container networking flavour (host/bridge/overlay).
+    a_router/b_router:
+        Overlay routers for the two hosts (required iff OVERLAY mode).
+    a_bridge/b_bridge:
+        Software bridges for the two hosts (required iff BRIDGE mode;
+        OVERLAY mode also crosses the local bridge to reach the router).
+    window_bytes:
+        Socket-buffer backpressure per direction.
+    """
+
+    def __init__(
+        self,
+        a_host: "Host",
+        b_host: "Host",
+        a_addr: EndpointAddr,
+        b_addr: EndpointAddr,
+        mode: TcpMode = TcpMode.HOST,
+        a_router: Optional[OverlayRouter] = None,
+        b_router: Optional[OverlayRouter] = None,
+        a_bridge: Optional[SoftwareBridge] = None,
+        b_bridge: Optional[SoftwareBridge] = None,
+        window_bytes: int = 4 * 1024 * 1024,
+    ) -> None:
+        if a_host.env is not b_host.env:
+            raise ValueError("hosts live in different environments")
+        if mode is TcpMode.OVERLAY and (a_router is None or b_router is None):
+            raise ValueError("OVERLAY mode needs a router on each host")
+        if mode is TcpMode.BRIDGE and (a_bridge is None or b_bridge is None):
+            raise ValueError("BRIDGE mode needs a bridge on each host")
+        if mode is not TcpMode.OVERLAY:
+            a_router = b_router = None
+        if mode is TcpMode.HOST:
+            a_bridge = b_bridge = None
+        self.env = a_host.env
+        self.mode = mode
+        self.window_bytes = window_bytes
+        # Intra-host overlay traffic traverses the single local router once.
+        same_host = a_host is b_host
+        lane_ab = _Direction(
+            self, a_host, b_host, a_addr, b_addr,
+            src_router=a_router,
+            dst_router=(b_router if not same_host else a_router),
+            src_bridge=a_bridge, dst_bridge=b_bridge,
+        )
+        lane_ba = _Direction(
+            self, b_host, a_host, b_addr, a_addr,
+            src_router=b_router,
+            dst_router=(a_router if not same_host else b_router),
+            src_bridge=b_bridge, dst_bridge=a_bridge,
+        )
+        self.a = TcpEnd(lane_ab, lane_ba)
+        self.b = TcpEnd(lane_ba, lane_ab)
+        self._lanes = (lane_ab, lane_ba)
+
+    def close(self) -> None:
+        for lane in self._lanes:
+            lane.close()

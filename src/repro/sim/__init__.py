@@ -1,0 +1,40 @@
+"""Discrete-event simulation engine (substrate S1).
+
+A from-scratch, SimPy-style process-interaction engine: generators yield
+:class:`Event` objects and the :class:`Environment` resumes them in
+virtual-time order.  See DESIGN.md §3.
+"""
+
+from .events import AllOf, AnyOf, Condition, Event, EventAlreadyTriggered, Timeout
+from .monitor import IntervalRecorder, Series, ThroughputTimeline, TimeWeighted
+from .process import Interrupt, Process, ProcessGen
+from .rand import RandomStream, StreamFactory
+from .resources import Release, Request, Resource, Store, StoreGet, StorePut, Tank
+from .scheduler import EmptySchedule, Environment
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "EventAlreadyTriggered",
+    "Interrupt",
+    "IntervalRecorder",
+    "Process",
+    "ProcessGen",
+    "RandomStream",
+    "Release",
+    "Request",
+    "Resource",
+    "Series",
+    "Store",
+    "StoreGet",
+    "StorePut",
+    "StreamFactory",
+    "Tank",
+    "ThroughputTimeline",
+    "TimeWeighted",
+    "Timeout",
+]

@@ -1,0 +1,246 @@
+"""Event primitives for the discrete-event simulation engine.
+
+The engine follows the classic process-interaction style (like SimPy, but
+implemented from scratch for this reproduction): simulation *processes* are
+Python generators that ``yield`` events, and the :class:`Environment`
+(see :mod:`repro.sim.scheduler`) resumes them when those events trigger.
+
+An :class:`Event` moves through three stages:
+
+1. *pending*   — created, nobody has triggered it yet;
+2. *triggered* — a value (or exception) has been set and the event has been
+   scheduled on the environment's queue;
+3. *processed* — the environment has popped it and run its callbacks.
+
+Composite conditions (:class:`AllOf` / :class:`AnyOf`) let a process wait for
+several events at once, which the transports use to model concurrent DMA,
+CPU work and link transmission.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .scheduler import Environment
+
+__all__ = [
+    "PENDING",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "EventAlreadyTriggered",
+]
+
+
+class _Pending:
+    """Sentinel for "this event has no value yet"."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<PENDING>"
+
+
+#: Sentinel stored in :attr:`Event._value` until the event triggers.
+PENDING = _Pending()
+
+
+class EventAlreadyTriggered(RuntimeError):
+    """Raised when code tries to succeed/fail an event twice."""
+
+
+class Event:
+    """A single occurrence that processes can wait on.
+
+    Events carry either a *value* (on success) or an *exception* (on
+    failure).  Waiting processes receive the value as the result of their
+    ``yield`` expression, or have the exception thrown into them.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        #: Set True to acknowledge a failure nobody waits on; otherwise the
+        #: environment re-raises unhandled failures (errors never pass
+        #: silently).
+        self.defused: bool = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the environment has run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise RuntimeError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value (or exception instance) the event triggered with."""
+        if self._value is PENDING:
+            raise RuntimeError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is thrown into every waiting process.  If nobody is
+        waiting, the environment raises it at the next ``step()`` so errors
+        never pass silently.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def _mark_processed(self) -> list[Callable[["Event"], None]]:
+        """Detach and return callbacks; the event is now *processed*."""
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        return callbacks
+
+    def _abandon(self) -> None:
+        """Withdraw any pending claim this event represents.
+
+        Called when the waiting process is interrupted away from the
+        event: resources/stores override this so an orphaned request does
+        not consume an item or slot nobody will ever receive.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after ``delay`` simulated time.
+
+    Unlike a bare :class:`Event`, a timeout is scheduled the moment it is
+    created; it cannot fail and cannot be re-triggered.
+    """
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise RuntimeError("a Timeout triggers itself; do not call succeed()")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise RuntimeError("a Timeout cannot fail")
+
+
+class Condition(Event):
+    """Waits for a combination of events, evaluated by ``evaluate``.
+
+    ``evaluate(events, count)`` receives the tuple of child events and the
+    number already succeeded, and returns True once the condition holds.
+    The condition's value is a dict mapping each *triggered* child event to
+    its value (insertion-ordered by trigger time), so callers can inspect
+    which events fired.
+
+    A failing child event fails the whole condition immediately.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[tuple[Event, ...], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = tuple(events)
+        self._count = 0
+        self._results: dict[Event, Any] = {}
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events must share one environment")
+
+        if not self._events:
+            # An empty condition is trivially satisfied.
+            self.succeed(self._results)
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                assert event.callbacks is not None
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._count += 1
+        self._results[event] = event.value
+        if self._evaluate(self._events, self._count):
+            self.succeed(dict(self._results))
+
+    @staticmethod
+    def all_events(events: tuple[Event, ...], count: int) -> bool:
+        """Evaluator: every child event has succeeded."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: tuple[Event, ...], count: int) -> bool:
+        """Evaluator: at least one child event has succeeded."""
+        return count > 0 or len(events) == 0
+
+
+class AllOf(Condition):
+    """Condition that triggers when *all* child events have succeeded."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that triggers when *any* child event has succeeded."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)

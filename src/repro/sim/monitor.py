@@ -1,0 +1,234 @@
+"""Measurement instruments for simulated experiments.
+
+Two instruments cover everything the paper's evaluation needs:
+
+* :class:`TimeWeighted` — tracks a piecewise-constant value over time and
+  reports its time-weighted mean.  This is how CPU utilisation is computed
+  ("TCP/IP burns ~200% CPU" means the time-weighted busy-core count is ~2).
+* :class:`Series` — a plain sample collector with count/mean/percentiles.
+  Used for latency distributions.
+
+Both are deliberately dependency-free (no numpy) so the core library stays
+pure; benchmarks may post-process with numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Environment
+
+__all__ = ["TimeWeighted", "Series", "IntervalRecorder", "ThroughputTimeline"]
+
+
+class TimeWeighted:
+    """Time-weighted statistics for a piecewise-constant signal.
+
+    Call :meth:`record` whenever the signal changes value.  The mean over
+    ``[start, now]`` weights each value by how long it was held.
+    """
+
+    def __init__(self, env: "Environment", initial: float = 0.0) -> None:
+        self.env = env
+        self._start = env.now
+        self._last_time = env.now
+        self._value = float(initial)
+        self._area = 0.0
+        self._max = float(initial)
+        self._min = float(initial)
+
+    @property
+    def value(self) -> float:
+        """The current value of the signal."""
+        return self._value
+
+    def record(self, value: float) -> None:
+        """Register a change of the signal to ``value`` at the current time."""
+        now = self.env.now
+        self._area += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = float(value)
+        self._max = max(self._max, self._value)
+        self._min = min(self._min, self._value)
+
+    def add(self, delta: float) -> None:
+        """Shift the signal by ``delta`` (convenience for counters)."""
+        self.record(self._value + delta)
+
+    def mean(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean from creation until ``until`` (default now)."""
+        end = self.env.now if until is None else until
+        span = end - self._start
+        if span <= 0:
+            return self._value
+        area = self._area + self._value * (end - self._last_time)
+        return area / span
+
+    def maximum(self) -> float:
+        return self._max
+
+    def minimum(self) -> float:
+        return self._min
+
+    def reset(self) -> None:
+        """Restart the measurement window at the current time."""
+        self._start = self.env.now
+        self._last_time = self.env.now
+        self._area = 0.0
+        self._max = self._value
+        self._min = self._value
+
+
+class Series:
+    """Sample collector with summary statistics (count, mean, percentiles)."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._sorted: Optional[list[float]] = None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def add(self, sample: float) -> None:
+        self._samples.append(float(sample))
+        self._sorted = None
+
+    def extend(self, samples: Iterable[float]) -> None:
+        self._samples.extend(float(s) for s in samples)
+        self._sorted = None
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        return sum(self._samples) / len(self._samples)
+
+    def stdev(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        mu = self.mean()
+        var = sum((s - mu) ** 2 for s in self._samples) / (len(self._samples) - 1)
+        return math.sqrt(var)
+
+    def minimum(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        return min(self._samples)
+
+    def maximum(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        return max(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        data = self._sorted
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100) * (len(data) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return data[low]
+        frac = rank - low
+        # The a + t*(b-a) form is exact when a == b, unlike the convex
+        # combination, which can round a hair outside [a, b].
+        return data[low] + frac * (data[high] - data[low])
+
+    def median(self) -> float:
+        return self.percentile(50)
+
+    def summary(self) -> dict[str, float]:
+        """A dict of the headline statistics (handy for bench output)."""
+        return {
+            "count": float(len(self._samples)),
+            "mean": self.mean(),
+            "min": self.minimum(),
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.maximum(),
+        }
+
+
+class ThroughputTimeline:
+    """Time-bucketed byte counter: throughput as a function of time.
+
+    Call :meth:`add` whenever bytes are delivered; :meth:`series` returns
+    ``[(bucket_start_s, bytes_per_second), ...]`` — the instrument behind
+    throughput-over-time plots such as the migration-dip figure (E23).
+    """
+
+    def __init__(self, env: "Environment", bucket_s: float = 1e-3) -> None:
+        if bucket_s <= 0:
+            raise ValueError("bucket size must be positive")
+        self.env = env
+        self.bucket_s = bucket_s
+        self._start = env.now
+        self._buckets: dict[int, float] = {}
+
+    def add(self, nbytes: float) -> None:
+        index = int((self.env.now - self._start) / self.bucket_s)
+        self._buckets[index] = self._buckets.get(index, 0.0) + nbytes
+
+    def series(self) -> list[tuple[float, float]]:
+        """Dense series from t=0 to the last non-empty bucket."""
+        if not self._buckets:
+            return []
+        last = max(self._buckets)
+        return [
+            (self._start + index * self.bucket_s,
+             self._buckets.get(index, 0.0) / self.bucket_s)
+            for index in range(last + 1)
+        ]
+
+    def minimum_rate(self, after_s: float = 0.0) -> float:
+        """Lowest bucket rate at/after ``after_s`` (absolute sim time)."""
+        series = self.series()
+        rates = [rate for start, rate in series if start >= after_s]
+        if not rates:
+            raise ValueError("no buckets in the requested window")
+        return min(rates)
+
+
+class IntervalRecorder:
+    """Tracks busy intervals of a set of workers (e.g. CPU cores).
+
+    ``busy(n)`` / ``idle(n)`` adjust how many workers are active; the
+    utilisation over the window is (busy worker-seconds) / elapsed — i.e.
+    "how many cores were burning", the unit used in the paper's CPU plots
+    (200% = two cores).
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self._tracker = TimeWeighted(env)
+
+    def busy(self, workers: int = 1) -> None:
+        self._tracker.add(workers)
+
+    def idle(self, workers: int = 1) -> None:
+        self._tracker.add(-workers)
+
+    @property
+    def active(self) -> float:
+        return self._tracker.value
+
+    def utilisation(self) -> float:
+        """Mean number of simultaneously busy workers (1.0 == 100%)."""
+        return self._tracker.mean()
+
+    def utilisation_percent(self) -> float:
+        return 100.0 * self.utilisation()
+
+    def reset(self) -> None:
+        self._tracker.reset()

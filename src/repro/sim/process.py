@@ -1,0 +1,162 @@
+"""Simulation processes: generators driven by the event loop.
+
+A :class:`Process` wraps a Python generator.  Each ``yield`` hands an
+:class:`~repro.sim.events.Event` to the environment; when that event
+triggers, the process resumes with the event's value (or the event's
+exception is thrown into the generator).
+
+A process is itself an event — it triggers with the generator's return
+value when the generator finishes — so processes can wait on each other,
+which the FreeFlow agents use extensively (e.g. an RDMA WRITE completion
+waits on the DMA process and the link-transmission process).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .events import Event, PENDING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Environment
+
+__all__ = ["Process", "Interrupt", "ProcessGen"]
+
+#: Type alias for generators usable as simulation processes.
+ProcessGen = Generator[Event, Any, Any]
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    ``cause`` carries an arbitrary payload describing why (e.g. a failed
+    host, a migrated container).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class _Initialize(Event):
+    """Internal event that kicks off a newly created process."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        assert self.callbacks is not None
+        self.callbacks.append(process._resume)
+        env.schedule(self)
+
+
+class Process(Event):
+    """A running simulation process (also an event: triggers on return)."""
+
+    def __init__(self, env: "Environment", generator: ProcessGen) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None if running
+        #: or finished).  Used by interrupt() to detach cleanly.
+        self._target: Optional[Event] = None
+        _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently suspended on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is waiting detaches it from its target event first (the event
+        itself is left to trigger normally for any other waiters).
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+            if not self._target.triggered:
+                # Withdraw pending claims (store gets, resource requests)
+                # so they cannot consume items nobody will receive.
+                self._target._abandon()
+        self._target = None
+        interrupt_event = Event(self.env)
+        assert interrupt_event.callbacks is not None
+        interrupt_event.callbacks.append(self._resume_interrupt)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        self.env.schedule(interrupt_event, priority=0)
+
+    # -- internal stepping machinery ------------------------------------
+
+    def _resume_interrupt(self, event: Event) -> None:
+        # An interrupt may land after the process finished in the same
+        # timestep; drop it silently in that case.
+        if self.is_alive:
+            self._step(event)
+
+    def _resume(self, event: Event) -> None:
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        """Advance the generator by one yield using ``event``'s outcome."""
+        self._target = None
+        self.env._active_process = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                # Throw the failure into the generator; if it handles it,
+                # we continue with whatever it yields next.  Either way the
+                # failure has been delivered, so it is no longer unhandled.
+                event.defused = True
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self._ok = True
+            self._value = stop.value
+            self.env.schedule(self)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self._ok = False
+            self._value = exc
+            self.env.schedule(self)
+            return
+        self.env._active_process = None
+
+        if not isinstance(result, Event):
+            raise TypeError(
+                f"process {self._generator!r} yielded {result!r}, not an Event"
+            )
+        if result.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            immediate = Event(self.env)
+            assert immediate.callbacks is not None
+            immediate.callbacks.append(self._resume)
+            immediate._ok = result._ok
+            immediate._value = result._value
+            self.env.schedule(immediate)
+            self._target = immediate
+        else:
+            result.callbacks.append(self._resume)
+            self._target = result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = getattr(self._generator, "__name__", repr(self._generator))
+        return f"<Process {name} {'alive' if self.is_alive else 'done'}>"

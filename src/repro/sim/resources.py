@@ -1,0 +1,305 @@
+"""Shared, contended resources for the simulated testbed.
+
+Three families, mirroring the classic DES toolkit:
+
+* :class:`Resource` — ``capacity`` identical slots with a FIFO wait queue.
+  Used for CPU cores, NIC processing engines and the like.
+* :class:`Store` — an unbounded-or-bounded queue of Python objects.  Used
+  for packet queues, completion queues, mailbox-style channels.
+* :class:`Tank` — a continuous level (named to avoid clashing with the
+  Docker sense of "container").  Used for buffer accounting.
+
+Requests are events, so processes write::
+
+    with cpu.request() as req:
+        yield req
+        yield env.timeout(work_seconds)
+
+The ``with`` form guarantees release even if the process is interrupted —
+important for migration and failure-injection experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Environment
+
+__all__ = ["Resource", "Request", "Release", "Store", "StorePut", "StoreGet", "Tank"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager: exiting the ``with`` block releases the
+    slot (or cancels the claim if it never triggered).
+    """
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._add_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the slot if held, or withdraw from the wait queue."""
+        self.resource._remove_request(self)
+
+    def _abandon(self) -> None:
+        self.cancel()
+
+
+class Release(Event):
+    """Event that triggers once a request's slot has been released."""
+
+    def __init__(self, resource: "Resource", request: Request) -> None:
+        super().__init__(resource.env)
+        self.request = request
+        resource._remove_request(request)
+        self.succeed()
+
+
+class Resource:
+    """``capacity`` interchangeable slots with FIFO (or priority) queuing.
+
+    ``priority`` on a request: lower value is served first; equal
+    priorities keep FIFO order.  The plain ``request()`` uses priority 0,
+    so a pure-FIFO resource just never passes the argument.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+        #: Optional hooks, called as f(resource) after each grant/release.
+        self.on_change: list[Callable[["Resource"], None]] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim one slot; the returned event triggers when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> Release:
+        """Release a granted slot (also done by the ``with`` form)."""
+        return Release(self, request)
+
+    # -- internals --------------------------------------------------------
+
+    def _add_request(self, request: Request) -> None:
+        self.queue.append(request)
+        self._trigger()
+
+    def _remove_request(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._trigger()
+        elif request in self.queue:
+            self.queue.remove(request)
+
+    def _trigger(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            request = min(
+                self.queue, key=lambda r: (r.priority, self.queue.index(r))
+            )
+            self.queue.remove(request)
+            self.users.append(request)
+            request.succeed()
+        for hook in self.on_change:
+            hook(self)
+
+
+class StorePut(Event):
+    """Pending put into a :class:`Store` (waits if the store is full)."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.store = store
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+    def _abandon(self) -> None:
+        try:
+            self.store._put_queue.remove(self)
+        except ValueError:  # pragma: no cover - already satisfied
+            pass
+
+
+class StoreGet(Event):
+    """Pending get from a :class:`Store` (waits if the store is empty)."""
+
+    def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]]) -> None:
+        super().__init__(store.env)
+        self.store = store
+        self.predicate = predicate
+        store._get_queue.append(self)
+        store._trigger()
+
+    def _abandon(self) -> None:
+        try:
+            self.store._get_queue.remove(self)
+        except ValueError:  # pragma: no cover - already satisfied
+            pass
+
+
+class Store:
+    """FIFO object queue with optional capacity and filtered gets.
+
+    ``get(predicate)`` retrieves the first item matching ``predicate``,
+    which the verbs layer uses to match completions to a specific queue
+    pair without draining unrelated completions.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._put_queue: Deque[StorePut] = deque()
+        self._get_queue: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Queue ``item``; the event triggers once there is room."""
+        return StorePut(self, item)
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Take the oldest item (matching ``predicate`` if given)."""
+        return StoreGet(self, predicate)
+
+    def try_get(self) -> Any:
+        """Non-blocking get: pop the oldest item or return None."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._trigger()
+        return item
+
+    # -- internals --------------------------------------------------------
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit puts while capacity allows.
+            while self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Satisfy gets that have a matching item.
+            for get in list(self._get_queue):
+                match = self._find(get.predicate)
+                if match is None:
+                    continue
+                index, item = match
+                del self.items[index]
+                self._get_queue.remove(get)
+                get.succeed(item)
+                progressed = True
+
+    def _find(self, predicate: Optional[Callable[[Any], bool]]):
+        for index, item in enumerate(self.items):
+            if predicate is None or predicate(item):
+                return index, item
+        return None
+
+
+class Tank:
+    """A continuous level between 0 and ``capacity``.
+
+    ``put``/``get`` block until the operation fits.  Used for shared-memory
+    buffer pools and NIC ring occupancy accounting.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        initial: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= initial <= capacity:
+            raise ValueError(f"initial level {initial} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(initial)
+        self._puts: Deque[tuple[Event, float]] = deque()
+        self._gets: Deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; blocks while it would overflow capacity."""
+        if amount < 0:
+            raise ValueError(f"negative amount {amount}")
+        event = Event(self.env)
+        entry = (event, amount)
+        self._puts.append(entry)
+        event._abandon = lambda: self._withdraw(self._puts, entry)  # type: ignore[method-assign]
+        self._trigger()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; blocks while the level is insufficient."""
+        if amount < 0:
+            raise ValueError(f"negative amount {amount}")
+        event = Event(self.env)
+        entry = (event, amount)
+        self._gets.append(entry)
+        event._abandon = lambda: self._withdraw(self._gets, entry)  # type: ignore[method-assign]
+        self._trigger()
+        return event
+
+    @staticmethod
+    def _withdraw(queue: Deque, entry) -> None:
+        try:
+            queue.remove(entry)
+        except ValueError:  # pragma: no cover - already satisfied
+            pass
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts:
+                event, amount = self._puts[0]
+                if self._level + amount <= self.capacity:
+                    self._puts.popleft()
+                    self._level += amount
+                    event.succeed()
+                    progressed = True
+            if self._gets:
+                event, amount = self._gets[0]
+                if self._level >= amount:
+                    self._gets.popleft()
+                    self._level -= amount
+                    event.succeed()
+                    progressed = True

@@ -1,0 +1,177 @@
+"""The simulation environment: virtual clock plus event queue.
+
+:class:`Environment` owns the heap of scheduled events and the current
+simulated time.  All FreeFlow experiments run inside one environment, so a
+whole cluster — hosts, NICs, agents, containers, the orchestrator — advances
+deterministically in virtual time.
+
+Time unit convention for this project: **seconds** (floats).  Hardware
+models convert from cycles / bytes / bits internally.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterable, Optional
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process, ProcessGen
+
+__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+
+#: Scheduling priorities: URGENT events (interrupts) run before NORMAL
+#: events that share the same timestamp.
+URGENT = 0
+NORMAL = 1
+
+
+class EmptySchedule(Exception):
+    """Raised by ``step()`` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end ``run(until=event)`` early."""
+
+
+class Environment:
+    """Discrete-event execution environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the virtual clock (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped (None between steps)."""
+        return self._active_process
+
+    # -- event creation helpers ------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGen) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when every event in ``events`` succeeds."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any event in ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    # -- scheduling and execution -----------------------------------------
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        """Queue ``event`` to be processed ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks = event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # A failure that nobody consumed: surface it loudly.
+            exc = event._value
+            raise exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the queue drains;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (or raising its exception).
+        """
+        if until is None:
+            stop_at = float("inf")
+            stop_event: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop_at = float("inf")
+            stop_event = until
+            if stop_event.processed:
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
+            assert stop_event.callbacks is not None
+            stop_event.callbacks.append(self._stop_on)
+        else:
+            stop_at = float(until)
+            stop_event = None
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until={stop_at} is in the past (now={self._now})"
+                )
+
+        try:
+            while self._queue:
+                if self._queue[0][0] > stop_at:
+                    self._now = stop_at
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            event = stop.args[0]
+            if event._ok:
+                return event._value
+            raise event._value from None
+        except EmptySchedule:  # pragma: no cover - race with while condition
+            pass
+
+        if stop_event is not None and not stop_event.processed:
+            raise RuntimeError(
+                "simulation ran out of events before `until` event triggered"
+            )
+        if stop_at != float("inf"):
+            self._now = stop_at
+        if stop_event is not None:
+            if stop_event._ok:
+                return stop_event._value
+            raise stop_event._value
+        return None
+
+    @staticmethod
+    def _stop_on(event: Event) -> None:
+        event.defused = True
+        raise StopSimulation(event)

@@ -1,0 +1,29 @@
+"""Data-plane mechanisms (substrate S5): what FreeFlow integrates.
+
+Shared memory for co-located containers, RDMA and DPDK for kernel-bypass
+across hosts, and kernel TCP as the universal fallback — all behind one
+lane/channel interface the agents and the policy engine program against.
+"""
+
+from .base import ChannelEnd, DuplexChannel, Lane, LaneStats, Mechanism
+from .dpdk import DpdkChannel, DpdkEngine, DpdkLane
+from .rdma import RdmaChannel, RdmaLane
+from .shmem import ShmChannel, ShmLane
+from .tcpip import TcpFallbackChannel, TcpLane
+
+__all__ = [
+    "ChannelEnd",
+    "DpdkChannel",
+    "DpdkEngine",
+    "DpdkLane",
+    "DuplexChannel",
+    "Lane",
+    "LaneStats",
+    "Mechanism",
+    "RdmaChannel",
+    "RdmaLane",
+    "ShmChannel",
+    "ShmLane",
+    "TcpFallbackChannel",
+    "TcpLane",
+]

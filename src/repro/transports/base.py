@@ -1,0 +1,165 @@
+"""Common machinery for data-plane mechanisms (substrate S5).
+
+Every mechanism — shared memory, RDMA, DPDK, kernel TCP — is exposed as a
+:class:`DuplexChannel` made of two unidirectional :class:`Lane` pipelines.
+FreeFlow's network agents (and the baselines) program against this one
+interface, which is what lets the paper's policy engine swap mechanisms
+under a connection without the application noticing.
+
+``send`` semantics: the generator returns once the message is accepted by
+the mechanism (bounded in-flight window => backpressure), not when it is
+delivered; ``recv`` blocks until a message arrives.  Delivery timestamps
+land on the :class:`~repro.netstack.packet.Message` for measurement.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..netstack.packet import EndpointAddr, Message
+from ..sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.scheduler import Environment
+
+__all__ = ["Mechanism", "LaneStats", "Lane", "ChannelEnd", "DuplexChannel"]
+
+
+class Mechanism(enum.Enum):
+    """The data-plane mechanisms FreeFlow integrates (paper §4.2)."""
+
+    SHM = "shm"
+    RDMA = "rdma"
+    DPDK = "dpdk"
+    TCP = "tcp"
+
+    @property
+    def kernel_bypass(self) -> bool:
+        return self is not Mechanism.TCP
+
+
+@dataclass
+class LaneStats:
+    """Delivery counters for one lane."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    payload_bytes: int = 0
+    latencies: list = field(default_factory=list)
+
+    def record_delivery(self, message: Message) -> None:
+        self.messages_delivered += 1
+        self.payload_bytes += message.size_bytes
+        self.latencies.append(message.latency)
+
+
+class Lane:
+    """A unidirectional message pipeline with an inbox at the far end.
+
+    Subclasses implement :meth:`send`; they call :meth:`deliver` when the
+    message reaches the destination endpoint.
+    """
+
+    def __init__(self, env: "Environment", mechanism: Mechanism) -> None:
+        self.env = env
+        self.mechanism = mechanism
+        self.inbox: Store = Store(env)
+        self.stats = LaneStats()
+        self.closed = False
+        #: Hook invoked on each delivery (used by the migration machinery
+        #: and by tests that need to observe the exact delivery instant).
+        self.on_deliver: Optional[Callable[[Message], None]] = None
+
+    def make_message(
+        self,
+        nbytes: int,
+        payload: Any = None,
+        src: Optional[EndpointAddr] = None,
+        dst: Optional[EndpointAddr] = None,
+    ) -> Message:
+        message = Message(size_bytes=nbytes, src=src, dst=dst, payload=payload)
+        message.sent_at = self.env.now
+        self.stats.messages_sent += 1
+        return message
+
+    def send(self, nbytes: int, payload: Any = None):
+        """Push one message into the lane (generator). Must be overridden."""
+        raise NotImplementedError
+
+    def deliver(self, message: Message) -> None:
+        """Final step: timestamp, account and enqueue at the receiver."""
+        message.delivered_at = self.env.now
+        self.stats.record_delivery(message)
+        if self.on_deliver is not None:
+            self.on_deliver(message)
+        self.inbox.put(message)
+
+    def recv(self):
+        """Blocking receive (generator)."""
+        message = yield self.inbox.get()
+        return message
+
+    def eject_receivers(self, exception: BaseException) -> None:
+        """Fail every receiver parked on this lane's inbox.
+
+        Used when a migration swaps the channel under a connection: the
+        parked receivers are woken with :class:`ChannelRebound` and retry
+        against the new channel.
+        """
+        pending = list(self.inbox._get_queue)
+        self.inbox._get_queue.clear()
+        for get in pending:
+            get.fail(exception)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class ChannelEnd:
+    """One side of a duplex channel: sends on one lane, receives on the other."""
+
+    def __init__(self, out_lane: Lane, in_lane: Lane) -> None:
+        self._out = out_lane
+        self._in = in_lane
+
+    @property
+    def mechanism(self) -> Mechanism:
+        return self._out.mechanism
+
+    def send(self, nbytes: int, payload: Any = None):
+        result = yield from self._out.send(nbytes, payload)
+        return result
+
+    def recv(self):
+        message = yield from self._in.recv()
+        return message
+
+    @property
+    def send_stats(self) -> LaneStats:
+        return self._out.stats
+
+    @property
+    def recv_stats(self) -> LaneStats:
+        return self._in.stats
+
+
+class DuplexChannel:
+    """Two lanes glued into a bidirectional channel with ``a``/``b`` ends."""
+
+    def __init__(self, lane_ab: Lane, lane_ba: Lane) -> None:
+        if lane_ab.mechanism is not lane_ba.mechanism:
+            raise ValueError("both lanes must use the same mechanism")
+        self.lane_ab = lane_ab
+        self.lane_ba = lane_ba
+        self.a = ChannelEnd(lane_ab, lane_ba)
+        self.b = ChannelEnd(lane_ba, lane_ab)
+
+    @property
+    def mechanism(self) -> Mechanism:
+        return self.lane_ab.mechanism
+
+    def close(self) -> None:
+        self.lane_ab.close()
+        self.lane_ba.close()

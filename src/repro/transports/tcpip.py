@@ -1,0 +1,77 @@
+"""Kernel TCP as a transport lane: the universal fallback (paper §4.2).
+
+FreeFlow's agents fall back to plain host-mode kernel TCP whenever the
+preferred mechanisms are unavailable ("If the best mechanism is not
+available (e.g. NIC lack of RDMA support), it will fall back to the
+sub-optimal mechanism (e.g., TCP/IP)").  This module adapts the
+functional kernel path from :mod:`repro.netstack.tcp` to the uniform
+:class:`~repro.transports.base.Lane` interface so the policy engine can
+treat it like any other mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..netstack.packet import EndpointAddr
+from ..netstack.tcp import TcpConnection, TcpMode
+from .base import DuplexChannel, Lane, Mechanism
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.host import Host
+
+__all__ = ["TcpLane", "TcpFallbackChannel"]
+
+
+class TcpLane(Lane):
+    """Adapter lane over one direction of a host-mode kernel connection."""
+
+    def __init__(self, direction) -> None:
+        super().__init__(direction.env, Mechanism.TCP)
+        self._direction = direction
+        direction.env.process(self._pump())
+
+    def send(self, nbytes: int, payload: Any = None):
+        message = yield from self._direction.send(nbytes, payload)
+        self.stats.messages_sent += 1
+        return message
+
+    def _pump(self):
+        """Re-timestamp deliveries into the lane's own inbox/stats."""
+        while True:
+            message = yield self._direction.inbox.get()
+            # The kernel path already stamped delivered_at; keep it and
+            # only run the lane-side accounting.
+            self.stats.record_delivery(message)
+            if self.on_deliver is not None:
+                self.on_deliver(message)
+            self.inbox.put(message)
+
+    def recv(self):
+        message = yield self.inbox.get()
+        return message
+
+
+class TcpFallbackChannel(DuplexChannel):
+    """Host-mode kernel TCP dressed as a duplex mechanism channel."""
+
+    def __init__(
+        self,
+        a_host: "Host",
+        b_host: "Host",
+        a_addr: Optional[EndpointAddr] = None,
+        b_addr: Optional[EndpointAddr] = None,
+        window_bytes: int = 4 * 1024 * 1024,
+    ) -> None:
+        a_addr = a_addr or EndpointAddr(f"{a_host.name}", 0)
+        b_addr = b_addr or EndpointAddr(f"{b_host.name}", 1)
+        self.connection = TcpConnection(
+            a_host,
+            b_host,
+            a_addr,
+            b_addr,
+            mode=TcpMode.HOST,
+            window_bytes=window_bytes,
+        )
+        lane_ab, lane_ba = self.connection._lanes
+        super().__init__(TcpLane(lane_ab), TcpLane(lane_ba))

@@ -1,0 +1,19 @@
+"""Workload generators and application models (S13)."""
+
+from .apps import KeyValueStoreApp, KvClient, ParameterServerApp
+from .traffic import (
+    HeavyTailedStream,
+    MessageSizeSweep,
+    MultiPairStream,
+    RequestResponse,
+)
+
+__all__ = [
+    "HeavyTailedStream",
+    "KeyValueStoreApp",
+    "KvClient",
+    "MessageSizeSweep",
+    "MultiPairStream",
+    "ParameterServerApp",
+    "RequestResponse",
+]

@@ -1,0 +1,223 @@
+"""Unit tests for containers, placement and the cluster orchestrator."""
+
+import pytest
+
+from repro.cluster import (
+    AffinityStrategy,
+    BinPackStrategy,
+    ClusterOrchestrator,
+    ContainerSpec,
+    ContainerStatus,
+    FabricController,
+    RoundRobinStrategy,
+    SpreadStrategy,
+)
+from repro.errors import OrchestrationError, PlacementError, UnknownContainer
+from repro.hardware import Host, VirtualMachine
+from repro.sim import Environment
+
+
+class TestContainerSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContainerSpec("")
+        with pytest.raises(ValueError):
+            ContainerSpec("c", cpu_shares=0)
+        with pytest.raises(ValueError):
+            ContainerSpec("c", memory_bytes=-1)
+
+    def test_trust_is_per_tenant(self, env):
+        from repro.cluster.container import Container
+
+        host = Host(env, "h1")
+        a = Container(ContainerSpec("a", tenant="blue"), host)
+        b = Container(ContainerSpec("b", tenant="blue"), host)
+        c = Container(ContainerSpec("c", tenant="red"), host)
+        assert a.trusts(b)
+        assert not a.trusts(c)
+
+    def test_lifecycle(self, env):
+        from repro.cluster.container import Container
+
+        container = Container(ContainerSpec("a"), Host(env, "h1"))
+        assert container.status is ContainerStatus.PENDING
+        container.start()
+        assert container.status is ContainerStatus.RUNNING
+        container.stop()
+        with pytest.raises(RuntimeError):
+            container.start()
+
+    def test_relocate_bumps_generation(self, env):
+        from repro.cluster.container import Container
+
+        h1, h2 = Host(env, "h1"), Host(env, "h2")
+        container = Container(ContainerSpec("a"), h1)
+        generation = container.generation
+        container.relocate(h2)
+        assert container.host is h2
+        assert container.generation == generation + 1
+
+    def test_location_string(self, env):
+        from repro.cluster.container import Container
+
+        host = Host(env, "h1")
+        vm = VirtualMachine(host, "vm0")
+        assert Container(ContainerSpec("a"), host).location == "h1"
+        assert Container(ContainerSpec("b"), host, vm).location == "h1/vm0"
+
+
+class TestStrategies:
+    def _hosts(self, env, n=3):
+        return [Host(env, f"h{i}") for i in range(n)]
+
+    def test_spread_prefers_least_loaded(self, env):
+        hosts = self._hosts(env)
+        load = {"h0": 2, "h1": 0, "h2": 1}
+        chosen = SpreadStrategy().place(ContainerSpec("c"), hosts, load)
+        assert chosen.name == "h1"
+
+    def test_spread_requires_hosts(self, env):
+        with pytest.raises(PlacementError):
+            SpreadStrategy().place(ContainerSpec("c"), [], {})
+
+    def test_binpack_prefers_most_loaded_under_cap(self, env):
+        hosts = self._hosts(env)
+        load = {"h0": 5, "h1": 2, "h2": 0}
+        chosen = BinPackStrategy(max_per_host=6).place(
+            ContainerSpec("c"), hosts, load
+        )
+        assert chosen.name == "h0"
+
+    def test_binpack_respects_cap(self, env):
+        hosts = self._hosts(env, 2)
+        load = {"h0": 3, "h1": 3}
+        with pytest.raises(PlacementError):
+            BinPackStrategy(max_per_host=3).place(
+                ContainerSpec("c"), hosts, load
+            )
+
+    def test_round_robin_cycles(self, env):
+        hosts = self._hosts(env)
+        strategy = RoundRobinStrategy()
+        names = [
+            strategy.place(ContainerSpec("c"), hosts, {}).name
+            for _ in range(4)
+        ]
+        assert names == ["h0", "h1", "h2", "h0"]
+
+    def test_affinity_follows_target(self, env):
+        hosts = self._hosts(env)
+        strategy = AffinityStrategy(locations={"leader": "h2"})
+        spec = ContainerSpec("c", labels={"affinity": "leader"})
+        assert strategy.place(spec, hosts, {}).name == "h2"
+
+    def test_affinity_falls_back(self, env):
+        hosts = self._hosts(env)
+        strategy = AffinityStrategy(locations={})
+        spec = ContainerSpec("c", labels={"affinity": "ghost"})
+        chosen = strategy.place(spec, hosts, {"h0": 1, "h1": 0, "h2": 1})
+        assert chosen.name == "h1"
+
+
+class TestClusterOrchestrator:
+    def test_submit_places_and_publishes(self, env, cluster):
+        container = cluster.submit(ContainerSpec("web"))
+        assert container.status is ContainerStatus.RUNNING
+        record = cluster.kv.get(f"/cluster/containers/web")
+        assert record["host"] == container.host.name
+
+    def test_duplicate_names_rejected(self, cluster):
+        cluster.submit(ContainerSpec("web"))
+        with pytest.raises(OrchestrationError):
+            cluster.submit(ContainerSpec("web"))
+
+    def test_pinned_placement(self, cluster):
+        container = cluster.submit(ContainerSpec("web", pinned_host="h2"))
+        assert container.host.name == "h2"
+
+    def test_pin_to_unknown_host_rejected(self, cluster):
+        with pytest.raises(PlacementError):
+            cluster.submit(ContainerSpec("web", pinned_host="nope"))
+
+    def test_spread_balances_load(self, cluster):
+        placed = [cluster.submit(ContainerSpec(f"c{i}")).host.name
+                  for i in range(4)]
+        assert placed.count("h1") == 2
+        assert placed.count("h2") == 2
+
+    def test_unknown_container_raises(self, cluster):
+        with pytest.raises(UnknownContainer):
+            cluster.container("ghost")
+
+    def test_stop_removes_record(self, cluster):
+        cluster.submit(ContainerSpec("web"))
+        cluster.stop("web")
+        assert cluster.kv.get("/cluster/containers/web") is None
+        assert cluster.container("web").status is ContainerStatus.STOPPED
+
+    def test_containers_filtered_by_tenant(self, cluster):
+        cluster.submit(ContainerSpec("a", tenant="blue"))
+        cluster.submit(ContainerSpec("b", tenant="red"))
+        assert [c.name for c in cluster.containers("blue")] == ["a"]
+
+    def test_relocate_updates_kv(self, cluster):
+        cluster.submit(ContainerSpec("web", pinned_host="h1"))
+        cluster.relocate("web", "h2")
+        assert cluster.kv.get("/cluster/containers/web")["host"] == "h2"
+
+    def test_relocate_unknown_destination(self, cluster):
+        cluster.submit(ContainerSpec("web"))
+        with pytest.raises(PlacementError):
+            cluster.relocate("web", "mars")
+
+    def test_duplicate_host_rejected(self, env, cluster, host_pair):
+        with pytest.raises(OrchestrationError):
+            cluster.add_host(host_pair[0])
+
+
+class TestVmsAndFabricController:
+    def test_vm_registration_flow(self, env, cluster, host_pair):
+        h1, __ = host_pair
+        vm = VirtualMachine(h1, "vm0")
+        cluster.add_vm(vm)
+        container = cluster.submit(ContainerSpec("c", pinned_host="vm0"))
+        assert container.vm is vm
+        assert container.host is h1
+        assert cluster.locate("c") is h1
+
+    def test_vm_on_unregistered_host_rejected(self, env, cluster):
+        rogue = Host(env, "rogue")
+        vm = VirtualMachine(rogue, "vm0")
+        with pytest.raises(OrchestrationError):
+            cluster.add_vm(vm)
+
+    def test_fabric_controller_colocation(self, env, cluster, host_pair):
+        h1, h2 = host_pair
+        vm_a = VirtualMachine(h1, "vm-a")
+        vm_b = VirtualMachine(h1, "vm-b")
+        vm_c = VirtualMachine(h2, "vm-c")
+        for vm in (vm_a, vm_b, vm_c):
+            cluster.add_vm(vm)
+        fabric_controller = cluster.fabric_controller
+        assert fabric_controller.colocated("vm-a", "vm-b")
+        assert not fabric_controller.colocated("vm-a", "vm-c")
+        assert fabric_controller.physical_host_of("vm-c") is h2
+
+    def test_fabric_controller_unknown_vm(self):
+        with pytest.raises(OrchestrationError):
+            FabricController().vm("ghost")
+
+    def test_fabric_controller_duplicate_vm(self, env, host):
+        controller = FabricController()
+        vm = VirtualMachine(host, "vm0")
+        controller.register(vm)
+        with pytest.raises(OrchestrationError):
+            controller.register(vm)
+
+    def test_vms_on_host(self, env, host):
+        controller = FabricController()
+        vms = [VirtualMachine(host, f"vm{i}") for i in range(3)]
+        for vm in vms:
+            controller.register(vm)
+        assert set(controller.vms_on(host)) == set(vms)
+        assert len(controller) == 3

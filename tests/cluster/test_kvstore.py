@@ -1,0 +1,97 @@
+"""Unit tests for the etcd-like KV store."""
+
+import pytest
+
+from repro.cluster import KeyValueStore
+
+
+@pytest.fixture
+def kv(env):
+    return KeyValueStore(env)
+
+
+def test_put_get_delete(kv):
+    kv.put("/a", 1)
+    assert kv.get("/a") == 1
+    assert "/a" in kv
+    assert kv.delete("/a")
+    assert kv.get("/a") is None
+    assert not kv.delete("/a")
+
+
+def test_get_default(kv):
+    assert kv.get("/missing", "fallback") == "fallback"
+
+
+def test_revisions_monotonic(kv):
+    r1 = kv.put("/a", 1)
+    r2 = kv.put("/a", 2)
+    assert r2 > r1
+    assert kv.revision == r2
+
+
+def test_keys_and_items_by_prefix(kv):
+    kv.put("/x/1", "a")
+    kv.put("/x/2", "b")
+    kv.put("/y/1", "c")
+    assert kv.keys("/x/") == ["/x/1", "/x/2"]
+    assert dict(kv.items("/x/")) == {"/x/1": "a", "/x/2": "b"}
+    assert len(kv) == 3
+
+
+def test_bad_keys_rejected(kv):
+    with pytest.raises(ValueError):
+        kv.put("", 1)
+    with pytest.raises(ValueError):
+        kv.put(" padded ", 1)
+
+
+def test_watch_sees_puts_and_deletes(kv):
+    watch = kv.watch("/net/")
+    kv.put("/net/a", 1)
+    kv.put("/other/b", 2)
+    kv.delete("/net/a")
+    events = watch.pending()
+    assert [(e.kind, e.key) for e in events] == [
+        ("put", "/net/a"),
+        ("delete", "/net/a"),
+    ]
+
+
+def test_watch_from_process(env, kv):
+    watch = kv.watch("/c/")
+    seen = []
+
+    def watcher():
+        event = yield watch.queue.get()
+        seen.append((event.kind, event.key, event.value))
+
+    def writer():
+        yield env.timeout(1)
+        kv.put("/c/x", 42)
+
+    env.process(watcher())
+    env.process(writer())
+    env.run()
+    assert seen == [("put", "/c/x", 42)]
+
+
+def test_cancelled_watch_gets_nothing(kv):
+    watch = kv.watch("")
+    watch.cancel()
+    kv.put("/a", 1)
+    assert watch.pending() == []
+
+
+def test_compare_and_put(kv):
+    assert kv.compare_and_put("/a", None, 1)       # create
+    assert not kv.compare_and_put("/a", 99, 2)     # wrong expectation
+    assert kv.compare_and_put("/a", 1, 2)          # correct CAS
+    assert kv.get("/a") == 2
+
+
+def test_watch_event_carries_revision(kv):
+    watch = kv.watch("")
+    revision = kv.put("/a", 1)
+    event = watch.pending()[0]
+    assert event.revision == revision

@@ -1,0 +1,70 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterOrchestrator, ContainerSpec
+from repro.core import FreeFlowNetwork
+from repro.hardware import Fabric, Host
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def fabric(env):
+    return Fabric(env)
+
+
+@pytest.fixture
+def host(env, fabric):
+    return Host(env, "h1", fabric=fabric)
+
+
+@pytest.fixture
+def host_pair(env, fabric):
+    return Host(env, "h1", fabric=fabric), Host(env, "h2", fabric=fabric)
+
+
+@pytest.fixture
+def cluster(env, host_pair):
+    orchestrator = ClusterOrchestrator(env)
+    for h in host_pair:
+        orchestrator.add_host(h)
+    return orchestrator
+
+
+@pytest.fixture
+def network(cluster):
+    return FreeFlowNetwork(cluster)
+
+
+@pytest.fixture
+def three_containers(cluster, network):
+    """web+cache co-located on h1, db alone on h2 — all attached."""
+    web = cluster.submit(ContainerSpec("web", pinned_host="h1"))
+    cache = cluster.submit(ContainerSpec("cache", pinned_host="h1"))
+    db = cluster.submit(ContainerSpec("db", pinned_host="h2"))
+    for c in (web, cache, db):
+        network.attach(c)
+    return web, cache, db
+
+
+def run(env, generator):
+    """Run a generator as a process to completion, return its value."""
+    process = env.process(generator)
+    return env.run(until=process)
+
+
+@pytest.fixture
+def runner(env):
+    """Callable fixture: ``runner(gen)`` runs gen to completion."""
+
+    def _run(generator):
+        return run(env, generator)
+
+    return _run

@@ -1,0 +1,154 @@
+"""Failure-injection tests: host death, connection reset, repair.
+
+Paper §2.1 motivates orchestrated containers with exactly this: "a
+stopped container can be quickly replaced by a new one on the same or
+another host" — these tests exercise the whole loop: fail, reset,
+replace, repair.
+"""
+
+import pytest
+
+from repro.cluster import ContainerSpec, ContainerStatus
+from repro.errors import ConnectionReset, PlacementError, UnknownContainer
+from repro.transports import Mechanism
+
+
+@pytest.fixture
+def split_pair(cluster, network):
+    a = cluster.submit(ContainerSpec("app", pinned_host="h1"))
+    b = cluster.submit(ContainerSpec("db", pinned_host="h2"))
+    network.attach(a)
+    network.attach(b)
+    return a, b
+
+
+class TestClusterFailureHandling:
+    def test_fail_host_stops_and_forgets_containers(self, cluster,
+                                                    split_pair):
+        lost = cluster.fail_host("h2")
+        assert lost == ["db"]
+        with pytest.raises(UnknownContainer):
+            cluster.container("db")
+        assert not cluster.is_host_up("h2")
+
+    def test_failed_host_not_schedulable(self, cluster, split_pair):
+        cluster.fail_host("h2")
+        with pytest.raises(PlacementError):
+            cluster.submit(ContainerSpec("new", pinned_host="h2"))
+        # Spread scheduling avoids the dead host too.
+        placed = cluster.submit(ContainerSpec("auto"))
+        assert placed.host.name == "h1"
+
+    def test_recover_host_restores_scheduling(self, cluster, split_pair):
+        cluster.fail_host("h2")
+        cluster.recover_host("h2")
+        assert cluster.is_host_up("h2")
+        placed = cluster.submit(ContainerSpec("back", pinned_host="h2"))
+        assert placed.host.name == "h2"
+
+    def test_resubmit_after_failure_allowed(self, cluster, split_pair):
+        cluster.fail_host("h2")
+        replacement = cluster.submit(ContainerSpec("db", pinned_host="h1"))
+        assert replacement.status is ContainerStatus.RUNNING
+        assert replacement.host.name == "h1"
+
+
+class TestNetworkFailureHandling:
+    def test_connections_reset_on_host_failure(self, env, cluster, network,
+                                               split_pair):
+        def go():
+            connection = yield from network.connect_containers("app", "db")
+            outcome = {}
+
+            def receiver():
+                try:
+                    yield from connection.b.recv()
+                    outcome["result"] = "message"
+                except ConnectionReset:
+                    outcome["result"] = "reset"
+
+            env.process(receiver())
+            yield env.timeout(0.001)
+            broken = network.handle_host_failure("h2")
+            yield env.timeout(0.001)
+            return connection, broken, outcome
+
+        process = env.process(go())
+        connection, broken, outcome = env.run(until=process)
+        assert broken == [connection]
+        assert connection.failed
+        assert outcome["result"] == "reset"
+
+    def test_failed_endpoint_leaves_overlay(self, env, cluster, network,
+                                            split_pair):
+        __, db = split_pair
+        ip = db.ip
+
+        def go():
+            yield from network.connect_containers("app", "db")
+
+        env.run(until=env.process(go()))
+        network.handle_host_failure("h2")
+        with pytest.raises(UnknownContainer):
+            network.orchestrator.lookup("db")
+        with pytest.raises(UnknownContainer):
+            network.orchestrator.lookup_by_ip(ip)
+
+    def test_repair_requires_prior_failure(self, env, cluster, network,
+                                           split_pair, runner):
+        def go():
+            connection = yield from network.connect_containers("app", "db")
+            yield from network.repair_connection(connection)
+
+        from repro.errors import OrchestrationError
+        with pytest.raises(OrchestrationError):
+            runner(go())
+
+    def test_full_fail_replace_repair_loop(self, env, cluster, network,
+                                           split_pair, runner):
+        """The paper's replacement story, end to end."""
+
+        def go():
+            connection = yield from network.connect_containers("app", "db")
+            assert connection.mechanism is Mechanism.RDMA
+            yield from connection.a.send(1024, payload="before")
+            yield from connection.b.recv()
+
+            network.handle_host_failure("h2")
+            assert connection.failed
+
+            # Replace the db container on the surviving host.
+            replacement = cluster.submit(
+                ContainerSpec("db", pinned_host="h1")
+            )
+            network.attach(replacement)
+            decision = yield from network.repair_connection(connection)
+
+            # Now co-located: the repaired channel is shared memory.
+            assert decision.mechanism is Mechanism.SHM
+            yield from connection.a.send(1024, payload="after")
+            message = yield from connection.b.recv()
+            return connection, message.payload
+
+        connection, payload = runner(go())
+        assert not connection.failed
+        assert payload == "after"
+        assert connection.mechanism is Mechanism.SHM
+
+    def test_surviving_connections_unaffected(self, env, cluster, network,
+                                              split_pair, runner):
+        survivor_a = cluster.submit(ContainerSpec("s1", pinned_host="h1"))
+        survivor_b = cluster.submit(ContainerSpec("s2", pinned_host="h1"))
+        network.attach(survivor_a)
+        network.attach(survivor_b)
+
+        def go():
+            doomed = yield from network.connect_containers("app", "db")
+            healthy = yield from network.connect_containers("s1", "s2")
+            network.handle_host_failure("h2")
+            assert doomed.failed and not healthy.failed
+            yield from healthy.a.send(100, payload="still works")
+            message = yield from healthy.b.recv()
+            return message.payload
+
+        assert runner(go()) == "still works"

@@ -1,0 +1,164 @@
+"""Tests for middlebox (IDS/IPS) support under FreeFlow (paper §7)."""
+
+import pytest
+
+from repro.cluster import ContainerSpec
+from repro.core import FreeFlowNetwork, Middlebox
+from repro.transports import Mechanism
+
+
+@pytest.fixture
+def inspected_network(cluster):
+    middlebox = Middlebox(name="dpi")
+    network = FreeFlowNetwork(cluster, middlebox=middlebox)
+    a = cluster.submit(ContainerSpec("a", pinned_host="h1"))
+    b = cluster.submit(ContainerSpec("b", pinned_host="h1"))
+    c = cluster.submit(ContainerSpec("c", pinned_host="h2"))
+    for x in (a, b, c):
+        network.attach(x)
+    return network, middlebox
+
+
+def _connect(env, network, src, dst):
+    def go():
+        connection = yield from network.connect_containers(src, dst)
+        return connection
+
+    return env.run(until=env.process(go()))
+
+
+def test_inspect_predicate_requires_middlebox(cluster):
+    with pytest.raises(ValueError):
+        FreeFlowNetwork(cluster, inspect=lambda s, d: True)
+
+
+def test_traffic_is_inspected_on_shm_path(env, inspected_network, runner):
+    network, middlebox = inspected_network
+    connection = _connect(env, network, "a", "b")
+    assert connection.mechanism is Mechanism.SHM  # bypass still chosen
+
+    def go():
+        yield from connection.a.send(4096, payload="clean")
+        message = yield from connection.b.recv()
+        return message.payload
+
+    assert runner(go()) == "clean"
+    assert middlebox.inspected_messages == 1
+    assert middlebox.inspected_bytes == 4096
+
+
+def test_traffic_is_inspected_on_rdma_path(env, inspected_network, runner):
+    network, middlebox = inspected_network
+    connection = _connect(env, network, "a", "c")
+    assert connection.mechanism is Mechanism.RDMA
+
+    def go():
+        yield from connection.a.send(1024)
+        yield from connection.b.recv()
+
+    runner(go())
+    assert middlebox.inspected_messages == 1
+
+
+def test_ips_verdict_drops_messages(env, cluster, runner):
+    ips = Middlebox(
+        name="ips",
+        verdict=lambda nbytes, payload: payload != "malware",
+    )
+    network = FreeFlowNetwork(cluster, middlebox=ips)
+    a = cluster.submit(ContainerSpec("xa", pinned_host="h1"))
+    b = cluster.submit(ContainerSpec("xb", pinned_host="h1"))
+    network.attach(a)
+    network.attach(b)
+    connection = _connect(env, network, "xa", "xb")
+
+    def go():
+        blocked = yield from connection.a.send(100, payload="malware")
+        allowed = yield from connection.a.send(100, payload="benign")
+        message = yield from connection.b.recv()
+        return blocked, allowed, message.payload
+
+    blocked, allowed, payload = runner(go())
+    assert blocked is None
+    assert allowed is not None
+    assert payload == "benign"  # the dropped message never arrived
+    assert ips.dropped_messages == 1
+    assert ips.inspected_messages == 1
+
+
+def test_inspect_predicate_scopes_inspection(env, cluster, runner):
+    middlebox = Middlebox()
+    network = FreeFlowNetwork(
+        cluster,
+        middlebox=middlebox,
+        inspect=lambda src, dst: src.tenant != dst.tenant,
+    )
+    same = cluster.submit(ContainerSpec("s1", tenant="t", pinned_host="h1"))
+    same2 = cluster.submit(ContainerSpec("s2", tenant="t", pinned_host="h1"))
+    other = cluster.submit(ContainerSpec("o1", tenant="u", pinned_host="h1"))
+    for x in (same, same2, other):
+        network.attach(x)
+
+    trusted = _connect(env, network, "s1", "s2")
+    crossing = _connect(env, network, "s1", "o1")
+
+    def go():
+        yield from trusted.a.send(100)
+        yield from trusted.b.recv()
+        yield from crossing.a.send(100)
+        yield from crossing.b.recv()
+
+    runner(go())
+    assert middlebox.inspected_messages == 1  # only the cross-tenant flow
+
+
+def test_inspection_costs_cpu_and_latency(env, cluster):
+    """DPI on the shm fast path must slow it down measurably."""
+    from repro.metrics import run_pingpong, run_stream
+
+    def build(with_middlebox):
+        middlebox = Middlebox() if with_middlebox else None
+        network = FreeFlowNetwork(cluster, middlebox=middlebox) \
+            if with_middlebox else FreeFlowNetwork(cluster)
+        suffix = "m" if with_middlebox else "p"
+        a = cluster.submit(ContainerSpec(f"a{suffix}", pinned_host="h1"))
+        b = cluster.submit(ContainerSpec(f"b{suffix}", pinned_host="h1"))
+        network.attach(a)
+        network.attach(b)
+        return _connect(env, network, f"a{suffix}", f"b{suffix}")
+
+    plain = build(False)
+    inspected = build(True)
+    plain_latency = run_pingpong(env, plain.a, plain.b, rounds=30)
+    inspected_latency = run_pingpong(env, inspected.a, inspected.b,
+                                     rounds=30)
+    assert inspected_latency.mean_us() > plain_latency.mean_us() * 1.5
+
+    plain_bw = run_stream(env, [(plain.a, plain.b)], duration_s=0.01)
+    inspected_bw = run_stream(env, [(inspected.a, inspected.b)],
+                              duration_s=0.01)
+    assert inspected_bw.gbps < plain_bw.gbps
+
+
+def test_migration_keeps_inspection(env, cluster, runner):
+    """Rebuilding a channel after migration must re-attach the IDS."""
+    from repro.core import MigrationController
+
+    middlebox = Middlebox()
+    network = FreeFlowNetwork(cluster, middlebox=middlebox)
+    a = cluster.submit(ContainerSpec("ma", pinned_host="h1"))
+    b = cluster.submit(ContainerSpec("mb", pinned_host="h1"))
+    network.attach(a)
+    network.attach(b)
+    connection = _connect(env, network, "ma", "mb")
+    controller = MigrationController(network)
+
+    def go():
+        yield from connection.a.send(100)
+        yield from connection.b.recv()
+        yield from controller.live_migrate("mb", "h2", state_bytes=1e6)
+        yield from connection.a.send(100)
+        yield from connection.b.recv()
+
+    runner(go())
+    assert middlebox.inspected_messages == 2

@@ -1,0 +1,156 @@
+"""Behaviour tests for live migration (paper §7)."""
+
+import pytest
+
+from repro.cluster import ContainerSpec, ContainerStatus
+from repro.core import MigrationController
+from repro.errors import MigrationError
+from repro.transports import Mechanism
+
+
+@pytest.fixture
+def controller(network):
+    return MigrationController(network)
+
+
+@pytest.fixture
+def colocated_pair(cluster, network):
+    a = cluster.submit(ContainerSpec("app", pinned_host="h1"))
+    b = cluster.submit(ContainerSpec("peer", pinned_host="h1"))
+    network.attach(a)
+    network.attach(b)
+    return a, b
+
+
+def test_migration_report_fields(env, network, controller, colocated_pair,
+                                 runner):
+    def go():
+        report = yield from controller.live_migrate(
+            "peer", "h2", state_bytes=50e6
+        )
+        return report
+
+    report = runner(go())
+    assert report.container == "peer"
+    assert report.source == "h1"
+    assert report.destination == "h2"
+    assert report.total_seconds > 0
+    assert 0 < report.downtime_seconds < report.total_seconds
+    assert report.precopy_rounds >= 1
+    assert report.bytes_copied >= 50e6
+
+
+def test_migration_moves_the_container(env, cluster, network, controller,
+                                       colocated_pair, runner):
+    def go():
+        yield from controller.live_migrate("peer", "h2", state_bytes=10e6)
+
+    runner(go())
+    assert cluster.container("peer").host.name == "h2"
+    assert cluster.container("peer").status is ContainerStatus.RUNNING
+
+
+def test_connection_rebinds_shm_to_rdma(env, network, controller,
+                                        colocated_pair, runner):
+    def go():
+        conn = yield from network.connect_containers("app", "peer")
+        assert conn.mechanism is Mechanism.SHM
+        report = yield from controller.live_migrate(
+            "peer", "h2", state_bytes=10e6
+        )
+        return conn, report
+
+    conn, report = runner(go())
+    assert conn.mechanism is Mechanism.RDMA
+    assert report.rebound_connections == 1
+    assert report.mechanism_changes == [(Mechanism.SHM, Mechanism.RDMA)]
+
+
+def test_traffic_survives_migration(env, network, controller,
+                                    colocated_pair, runner):
+    counters = {"delivered": 0}
+
+    def go():
+        conn = yield from network.connect_containers("app", "peer")
+        stop = {"v": False}
+
+        def traffic():
+            while not stop["v"]:
+                yield from conn.a.send(32 * 1024)
+                yield from conn.b.recv()
+                counters["delivered"] += 1
+
+        env.process(traffic())
+        yield env.timeout(0.002)
+        yield from controller.live_migrate("peer", "h2", state_bytes=20e6)
+        at_switch = counters["delivered"]
+        yield env.timeout(0.002)
+        stop["v"] = True
+        yield env.timeout(0.01)
+        return at_switch
+
+    at_switch = runner(go())
+    assert at_switch > 0
+    assert counters["delivered"] > at_switch  # flowed after the move
+
+
+def test_dirtier_memory_needs_more_rounds(env, network, controller,
+                                          colocated_pair, runner):
+    def go():
+        calm = yield from controller.live_migrate(
+            "peer", "h2", state_bytes=100e6, dirty_rate_bytes=10e6
+        )
+        busy_controller = MigrationController(
+            network, downtime_target_bytes=1e6
+        )
+        busy = yield from busy_controller.live_migrate(
+            "peer", "h1", state_bytes=100e6, dirty_rate_bytes=2e9
+        )
+        return calm, busy
+
+    calm, busy = runner(go())
+    assert busy.precopy_rounds >= calm.precopy_rounds
+    assert busy.bytes_copied > calm.bytes_copied
+
+
+def test_migrate_to_same_host_rejected(env, controller, colocated_pair,
+                                       runner):
+    def go():
+        yield from controller.live_migrate("peer", "h1")
+
+    with pytest.raises(MigrationError):
+        runner(go())
+
+
+def test_migrate_unknown_destination_rejected(env, controller,
+                                              colocated_pair, runner):
+    def go():
+        yield from controller.live_migrate("peer", "the-moon")
+
+    with pytest.raises(MigrationError):
+        runner(go())
+
+
+def test_migrate_stopped_container_rejected(env, cluster, controller,
+                                            colocated_pair, runner):
+    cluster.stop("peer")
+
+    def go():
+        yield from controller.live_migrate("peer", "h2")
+
+    with pytest.raises(MigrationError):
+        runner(go())
+
+
+def test_downtime_far_below_total(env, network, controller, colocated_pair,
+                                  runner):
+    """The whole point of pre-copy: downtime << total migration time."""
+
+    def go():
+        report = yield from controller.live_migrate(
+            "peer", "h2", state_bytes=500e6, dirty_rate_bytes=100e6
+        )
+        return report
+
+    report = runner(go())
+    assert report.downtime_seconds < report.total_seconds / 5

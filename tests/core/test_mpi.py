@@ -1,0 +1,313 @@
+"""Behaviour tests for the MPI-over-verbs translation layer."""
+
+import pytest
+
+from repro.cluster import ContainerSpec
+from repro.core import Communicator
+from repro.errors import FreeFlowError
+
+
+@pytest.fixture
+def ranks4(cluster, network):
+    containers = [
+        cluster.submit(
+            ContainerSpec(f"rank{i}", pinned_host="h1" if i < 2 else "h2")
+        )
+        for i in range(4)
+    ]
+    for c in containers:
+        network.attach(c)
+    return containers
+
+
+@pytest.fixture
+def comm(network, ranks4):
+    return Communicator(network, ranks4)
+
+
+def _run_all(env, comm, make_gen):
+    """Run make_gen(rank_endpoint) on every rank concurrently."""
+    results = {}
+
+    def runner(rank):
+        endpoint = comm.endpoint(rank)
+        value = yield from make_gen(endpoint)
+        results[rank] = value
+
+    procs = [env.process(runner(r)) for r in range(comm.size)]
+
+    def waiter():
+        for p in procs:
+            yield p
+
+    done = env.process(waiter())
+    env.run(until=done)
+    return results
+
+
+class TestConstruction:
+    def test_needs_ranks(self, network):
+        with pytest.raises(FreeFlowError):
+            Communicator(network, [])
+
+    def test_duplicates_rejected(self, network, ranks4):
+        with pytest.raises(FreeFlowError):
+            Communicator(network, [ranks4[0], ranks4[0]])
+
+    def test_rank_bounds_checked(self, comm):
+        with pytest.raises(FreeFlowError):
+            comm.endpoint(99)
+
+
+class TestPointToPoint:
+    def test_send_recv(self, env, comm):
+        def logic(ep):
+            if ep.rank == 0:
+                yield from ep.send(1, 1024, payload="zero-to-one")
+                return None
+            if ep.rank == 1:
+                n, payload = yield from ep.recv(0)
+                return n, payload
+            return None
+
+        results = _run_all(env, comm, logic)
+        assert results[1] == (1024, "zero-to-one")
+
+    def test_tag_matching_out_of_order(self, env, comm):
+        def logic(ep):
+            if ep.rank == 0:
+                yield from ep.send(1, 64, payload="first", tag=7)
+                yield from ep.send(1, 64, payload="second", tag=9)
+                return None
+            if ep.rank == 1:
+                __, second = yield from ep.recv(0, tag=9)
+                __, first = yield from ep.recv(0, tag=7)
+                return first, second
+            return None
+
+        results = _run_all(env, comm, logic)
+        assert results[1] == ("first", "second")
+
+    def test_self_send_rejected(self, env, comm):
+        def logic(ep):
+            if ep.rank == 0:
+                yield from ep.send(0, 10)
+            else:
+                yield ep.env.timeout(0)
+            return None
+
+        with pytest.raises(FreeFlowError):
+            _run_all(env, comm, logic)
+
+    def test_sendrecv_exchanges(self, env, comm):
+        def logic(ep):
+            peer = (ep.rank + 1) % comm.size
+            source = (ep.rank - 1) % comm.size
+            __, incoming = yield from ep.sendrecv(
+                peer, 128, f"from{ep.rank}", source
+            )
+            return incoming
+
+        results = _run_all(env, comm, logic)
+        assert results[0] == "from3"
+        assert results[3] == "from2"
+
+
+class TestCollectives:
+    def test_barrier_synchronises(self, env, comm):
+        after = {}
+
+        def logic(ep):
+            # Stagger arrival; everyone must leave after the last arrival.
+            yield ep.env.timeout(0.001 * ep.rank)
+            yield from ep.barrier()
+            after[ep.rank] = ep.env.now
+            return None
+
+        _run_all(env, comm, logic)
+        assert min(after.values()) >= 0.003
+
+    def test_bcast_distributes_root_value(self, env, comm):
+        def logic(ep):
+            value = yield from ep.bcast(
+                root=2, nbytes=256,
+                payload=("secret" if ep.rank == 2 else None),
+            )
+            return value
+
+        results = _run_all(env, comm, logic)
+        assert all(v == "secret" for v in results.values())
+
+    def test_allreduce_sums_everyone(self, env, comm):
+        def logic(ep):
+            total = yield from ep.allreduce(float(ep.rank + 1), 4096)
+            return total
+
+        results = _run_all(env, comm, logic)
+        assert all(v == pytest.approx(10.0) for v in results.values())
+
+    def test_allreduce_custom_op(self, env, comm):
+        def logic(ep):
+            best = yield from ep.allreduce(
+                float(ep.rank), 1024, op=max
+            )
+            return best
+
+        results = _run_all(env, comm, logic)
+        assert all(v == 3.0 for v in results.values())
+
+    def test_gather_collects_at_root(self, env, comm):
+        def logic(ep):
+            gathered = yield from ep.gather(0, 64, ep.rank * 10)
+            return gathered
+
+        results = _run_all(env, comm, logic)
+        assert results[0] == [0, 10, 20, 30]
+        assert results[1] is None
+
+    def test_allgather_everyone_gets_all(self, env, comm):
+        def logic(ep):
+            values = yield from ep.allgather(64, f"r{ep.rank}")
+            return values
+
+        results = _run_all(env, comm, logic)
+        for rank in range(4):
+            assert results[rank] == ["r0", "r1", "r2", "r3"]
+
+    def test_single_rank_allreduce_is_identity(self, env, cluster, network):
+        lone = cluster.submit(ContainerSpec("lone"))
+        network.attach(lone)
+        comm = Communicator(network, [lone])
+
+        def logic(ep):
+            value = yield from ep.allreduce(5.0, 100)
+            return value
+
+        assert _run_all(env, comm, logic)[0] == 5.0
+
+
+class TestNonBlocking:
+    def test_isend_irecv_overlap(self, env, comm):
+        """A rank posts all receives up front, then all sends — only
+        possible with non-blocking ops."""
+
+        def logic(ep):
+            if ep.rank == 0:
+                requests = [
+                    ep.isend(1, 256, payload=f"m{i}", tag=i)
+                    for i in range(4)
+                ]
+                yield from ep.waitall(requests)
+                return None
+            if ep.rank == 1:
+                requests = [ep.irecv(0, tag=i) for i in range(4)]
+                results = yield from ep.waitall(requests)
+                return [payload for __, payload in results]
+            return None
+
+        results = _run_all(env, comm, logic)
+        assert results[1] == ["m0", "m1", "m2", "m3"]
+
+    def test_irecv_before_send_arrives(self, env, comm):
+        def logic(ep):
+            if ep.rank == 1:
+                request = ep.irecv(0)
+                assert not request.done
+                n, payload = yield from request.wait()
+                return n, payload
+            if ep.rank == 0:
+                yield ep.env.timeout(0.001)
+                yield from ep.send(1, 512, payload="late")
+                return None
+            return None
+
+        results = _run_all(env, comm, logic)
+        assert results[1] == (512, "late")
+
+    def test_request_done_flag(self, env, comm):
+        def logic(ep):
+            if ep.rank == 0:
+                request = ep.isend(1, 64, payload="x")
+                yield from request.wait()
+                assert request.done
+                return None
+            if ep.rank == 1:
+                yield from ep.recv(0)
+                return None
+            return None
+
+        _run_all(env, comm, logic)
+
+    def test_overlapping_compute_and_communication(self, env, comm):
+        """The point of isend: communication hides behind compute."""
+
+        def logic(ep):
+            if ep.rank == 0:
+                started = ep.env.now
+                request = ep.isend(1, 8 << 20, payload="big")
+                yield ep.env.timeout(0.002)     # "compute"
+                yield from request.wait()
+                return ep.env.now - started
+            if ep.rank == 1:
+                yield from ep.recv(0)
+                return None
+            return None
+
+        results = _run_all(env, comm, logic)
+        # The 8 MiB transfer (~2 ms on RDMA... but rank0/rank1 share h1:
+        # shm ~0.9 ms) hides inside the 2 ms compute window.
+        assert results[0] < 0.004
+
+
+class TestReduceScatter:
+    def test_reduce_sums_at_root(self, env, comm):
+        def logic(ep):
+            result = yield from ep.reduce(0, float(ep.rank + 1), 1024)
+            return result
+
+        results = _run_all(env, comm, logic)
+        assert results[0] == pytest.approx(10.0)
+        assert results[1] is None and results[3] is None
+
+    def test_reduce_with_nonzero_root(self, env, comm):
+        def logic(ep):
+            result = yield from ep.reduce(2, float(ep.rank), 512, op=max)
+            return result
+
+        results = _run_all(env, comm, logic)
+        assert results[2] == 3.0
+        assert results[0] is None
+
+    def test_scatter_distributes_slices(self, env, comm):
+        def logic(ep):
+            values = [f"slice{i}" for i in range(comm.size)] \
+                if ep.rank == 1 else None
+            slice_ = yield from ep.scatter(1, 256, values=values)
+            return slice_
+
+        results = _run_all(env, comm, logic)
+        for rank in range(4):
+            assert results[rank] == f"slice{rank}"
+
+    def test_scatter_validates_root_values(self, env, comm):
+        def logic(ep):
+            if ep.rank == 0:
+                yield from ep.scatter(0, 64, values=[1, 2])  # wrong length
+            else:
+                yield ep.env.timeout(0)
+            return None
+
+        with pytest.raises(FreeFlowError):
+            _run_all(env, comm, logic)
+
+    def test_reduce_then_bcast_equals_allreduce(self, env, comm):
+        def logic(ep):
+            partial = yield from ep.reduce(0, float(ep.rank + 1), 1024)
+            total = yield from ep.bcast(0, 1024, payload=partial)
+            direct = yield from ep.allreduce(float(ep.rank + 1), 1024,
+                                             tag=1 << 27)
+            return total, direct
+
+        results = _run_all(env, comm, logic)
+        for total, direct in results.values():
+            assert total == pytest.approx(direct) == pytest.approx(10.0)

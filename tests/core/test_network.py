@@ -1,0 +1,288 @@
+"""Unit + behaviour tests for FreeFlowNetwork assembly and caching."""
+
+import pytest
+
+from repro.cluster import ContainerSpec
+from repro.core import FreeFlowNetwork, MechanismPolicy, PolicyConfig
+from repro.errors import OrchestrationError
+from repro.transports import Mechanism
+
+
+class TestAttach:
+    def test_attach_assigns_ip_and_vnic(self, cluster, network):
+        c = cluster.submit(ContainerSpec("c"))
+        vnic = network.attach(c)
+        assert c.ip is not None
+        assert network.vnic("c") is vnic
+
+    def test_double_attach_rejected(self, cluster, network, three_containers):
+        with pytest.raises(OrchestrationError):
+            network.attach(three_containers[0])
+
+    def test_detach_releases_everything(self, cluster, network,
+                                        three_containers):
+        web = three_containers[0]
+        network.detach("web")
+        assert web.ip is None
+        with pytest.raises(OrchestrationError):
+            network.vnic("web")
+
+    def test_vnic_unknown_container(self, network):
+        with pytest.raises(OrchestrationError):
+            network.vnic("ghost")
+
+    def test_agent_per_host_is_cached(self, network, host_pair):
+        h1, __ = host_pair
+        assert network.agent_for(h1) is network.agent_for(h1)
+
+    def test_policy_and_config_mutually_exclusive(self, cluster):
+        with pytest.raises(ValueError):
+            FreeFlowNetwork(
+                cluster,
+                policy=MechanismPolicy(),
+                policy_config=PolicyConfig(),
+            )
+
+
+class TestConnectContainers:
+    def test_intra_host_pair_gets_shm(self, env, network, three_containers,
+                                      runner):
+        def go():
+            conn = yield from network.connect_containers("web", "cache")
+            return conn
+
+        conn = runner(go())
+        assert conn.mechanism is Mechanism.SHM
+        assert conn in network.connections
+
+    def test_inter_host_pair_gets_rdma(self, env, network, three_containers,
+                                       runner):
+        def go():
+            conn = yield from network.connect_containers("web", "db")
+            return conn
+
+        assert runner(go()).mechanism is Mechanism.RDMA
+
+    def test_connection_ends_work(self, env, network, three_containers,
+                                  runner):
+        def go():
+            conn = yield from network.connect_containers("web", "db")
+            yield from conn.a.send(1024, payload="x")
+            message = yield from conn.b.recv()
+            return message.payload
+
+        assert runner(go()) == "x"
+
+    def test_in_flight_counter(self, env, network, three_containers, runner):
+        def go():
+            conn = yield from network.connect_containers("web", "cache")
+            assert conn.in_flight() == 0
+            yield from conn.a.send(128)
+            # ShmLane delivers within send, so in-flight is 0 again.
+            return conn.in_flight()
+
+        assert runner(go()) == 0
+
+
+class TestResolveCaching:
+    def test_cache_hit_avoids_second_query(self, env, network,
+                                           three_containers, runner):
+        def go():
+            yield from network.resolve("web", "cache")
+            yield from network.resolve("web", "cache")
+
+        runner(go())
+        assert network.cache_misses == 1
+        assert network.cache_hits == 1
+        assert network.orchestrator.queries_served == 1
+
+    def test_cache_ttl_zero_always_queries(self, cluster, three_containers):
+        network = FreeFlowNetwork(cluster, cache_ttl_s=0)
+        for c in three_containers:
+            pass  # containers already attached to the other network
+        # Build a fresh pair for this network instance.
+        a = cluster.submit(ContainerSpec("a2", pinned_host="h1"))
+        b = cluster.submit(ContainerSpec("b2", pinned_host="h1"))
+        network.attach(a)
+        network.attach(b)
+        env = cluster.env
+
+        def go():
+            yield from network.resolve("a2", "b2")
+            yield from network.resolve("a2", "b2")
+
+        process = env.process(go())
+        env.run(until=process)
+        assert network.cache_hits == 0
+        assert network.orchestrator.queries_served == 2
+
+    def test_cache_expires_after_ttl(self, cluster, env, three_containers,
+                                     network):
+        network.cache_ttl_s = 0.01
+
+        def go():
+            yield from network.resolve("web", "cache")
+            yield env.timeout(0.02)
+            yield from network.resolve("web", "cache")
+
+        process = env.process(go())
+        env.run(until=process)
+        assert network.cache_misses == 2
+
+    def test_invalidate_drops_entries(self, env, network, three_containers,
+                                      runner):
+        def go():
+            yield from network.resolve("web", "cache")
+
+        runner(go())
+        network.invalidate("cache")
+
+        runner(go())
+        assert network.cache_misses == 2
+
+    def test_resolve_costs_query_latency(self, env, network,
+                                         three_containers, runner):
+        def go():
+            started = env.now
+            yield from network.resolve("web", "db")
+            return env.now - started
+
+        assert runner(go()) == pytest.approx(
+            network.orchestrator.query_latency_s
+        )
+
+
+class TestRebind:
+    def test_rebind_changes_mechanism_after_move(
+        self, env, cluster, network, three_containers, runner
+    ):
+        def go():
+            conn = yield from network.connect_containers("web", "cache")
+            assert conn.mechanism is Mechanism.SHM
+            cluster.relocate("cache", "h2")
+            network.orchestrator.refresh_location("cache")
+            network.invalidate("cache")
+            yield from network.rebind(conn)
+            return conn
+
+        conn = runner(go())
+        assert conn.mechanism is Mechanism.RDMA
+        assert conn.generation == 2
+
+    def test_rebind_transplants_unconsumed_messages(
+        self, env, cluster, network, three_containers, runner
+    ):
+        def go():
+            conn = yield from network.connect_containers("web", "cache")
+            yield from conn.a.send(256, payload="precious")
+            # Delivered but not consumed; now move the endpoint.
+            cluster.relocate("cache", "h2")
+            network.orchestrator.refresh_location("cache")
+            network.invalidate("cache")
+            yield from network.rebind(conn)
+            message = yield from conn.b.recv()
+            return message.payload
+
+        assert runner(go()) == "precious"
+
+    def test_pause_gates_senders(self, env, network, three_containers):
+        sent = []
+
+        def go():
+            conn = yield from network.connect_containers("web", "cache")
+            conn.pause(env)
+
+            def sender():
+                yield from conn.a.send(64)
+                sent.append(env.now)
+
+            env.process(sender())
+            yield env.timeout(0.01)
+            assert sent == []
+            conn.resume()
+            yield env.timeout(0.01)
+            assert len(sent) == 1
+
+        process = env.process(go())
+        env.run(until=process)
+
+
+class TestVmAwareChannels:
+    def test_cross_vm_shm_uses_netvm_channel(self, env, cluster):
+        from repro.baselines import NetVmChannel
+        from repro.core import FreeFlowNetwork, PolicyConfig
+        from repro.hardware import VirtualMachine
+
+        h1 = cluster.host("h1")
+        vm_a = VirtualMachine(h1, "vm-a")
+        vm_b = VirtualMachine(h1, "vm-b")
+        cluster.add_vm(vm_a)
+        cluster.add_vm(vm_b)
+        network = FreeFlowNetwork(
+            cluster, policy_config=PolicyConfig(shm_across_vms=True)
+        )
+        from repro.cluster import ContainerSpec
+
+        a = cluster.submit(ContainerSpec("va", pinned_host="vm-a"))
+        b = cluster.submit(ContainerSpec("vb", pinned_host="vm-b"))
+        network.attach(a)
+        network.attach(b)
+
+        def go():
+            conn = yield from network.connect_containers("va", "vb")
+            yield from conn.a.send(1024, payload="x")
+            message = yield from conn.b.recv()
+            return conn, message.payload
+
+        process = env.process(go())
+        conn, payload = env.run(until=process)
+        assert isinstance(conn.channel, NetVmChannel)
+        assert payload == "x"
+
+    def test_same_vm_pair_uses_plain_shm(self, env, cluster, network):
+        from repro.baselines import NetVmChannel
+        from repro.cluster import ContainerSpec
+        from repro.hardware import VirtualMachine
+
+        h1 = cluster.host("h1")
+        vm = VirtualMachine(h1, "vm-x")
+        cluster.add_vm(vm)
+        a = cluster.submit(ContainerSpec("xa", pinned_host="vm-x"))
+        b = cluster.submit(ContainerSpec("xb", pinned_host="vm-x"))
+        network.attach(a)
+        network.attach(b)
+
+        def go():
+            conn = yield from network.connect_containers("xa", "xb")
+            return conn
+
+        process = env.process(go())
+        conn = env.run(until=process)
+        assert not isinstance(conn.channel, NetVmChannel)
+        assert conn.mechanism.value == "shm"
+
+
+class TestAutoInvalidation:
+    def test_watch_invalidates_on_republish(self, env, cluster, network,
+                                            three_containers, runner):
+        network.enable_auto_invalidation()
+
+        def go():
+            yield from network.resolve("web", "cache")
+            assert network.cache_misses == 1
+            # Simulate a move published by some other actor.
+            cluster.relocate("cache", "h2")
+            network.orchestrator.refresh_location("cache")
+            yield env.timeout(0)  # let the watcher pump run
+            decision = yield from network.resolve("web", "cache")
+            return decision
+
+        decision = runner(go())
+        assert network.cache_misses == 2  # cache was auto-invalidated
+        assert decision.mechanism.value == "rdma"
+
+    def test_enable_twice_is_idempotent(self, network):
+        network.enable_auto_invalidation()
+        watcher = network._watcher
+        network.enable_auto_invalidation()
+        assert network._watcher is watcher

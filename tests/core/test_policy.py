@@ -1,0 +1,122 @@
+"""Unit tests for the mechanism-selection policy (paper Table 1)."""
+
+import pytest
+
+from repro.cluster import ContainerSpec
+from repro.cluster.container import Container
+from repro.core import MechanismPolicy, PolicyConfig
+from repro.hardware import Host, NO_RDMA_TESTBED, VirtualMachine, VmSpec
+from repro.sim import Environment
+from repro.transports import Mechanism
+
+
+def _containers(env, *, same_host=True, rdma=True, tenants=("t", "t"),
+                vms=(None, None)):
+    spec = None if rdma else NO_RDMA_TESTBED
+    h1 = Host(env, "h1", spec=spec)
+    h2 = h1 if same_host else Host(env, "h2", spec=spec)
+    vm_objects = []
+    for vm_name, host in zip(vms, (h1, h2)):
+        if vm_name is None:
+            vm_objects.append(None)
+        else:
+            existing = {v.name: v for v in host.vms}
+            vm_objects.append(
+                existing.get(vm_name) or VirtualMachine(host, vm_name)
+            )
+    a = Container(ContainerSpec("a", tenant=tenants[0]), h1, vm_objects[0])
+    b = Container(ContainerSpec("b", tenant=tenants[1]), h2, vm_objects[1])
+    return a, b
+
+
+@pytest.fixture
+def policy():
+    return MechanismPolicy()
+
+
+class TestPaperTableOne:
+    """The constraint matrix from the paper's (commented) Table 1."""
+
+    def test_case_a_same_host_no_constraint(self, env, policy):
+        a, b = _containers(env, same_host=True)
+        assert policy.decide(a, b).mechanism is Mechanism.SHM
+
+    def test_case_b_two_hosts_no_constraint(self, env, policy):
+        a, b = _containers(env, same_host=False)
+        assert policy.decide(a, b).mechanism is Mechanism.RDMA
+
+    def test_case_c_same_vm(self, env, policy):
+        a, b = _containers(env, same_host=True, vms=("vm0", "vm0"))
+        assert policy.decide(a, b).mechanism is Mechanism.SHM
+
+    def test_case_d_vms_on_two_hosts_sriov(self, env, policy):
+        a, b = _containers(env, same_host=False, vms=("vm0", "vm1"))
+        assert policy.decide(a, b).mechanism is Mechanism.RDMA
+
+    def test_without_trust_everything_is_tcp(self, env, policy):
+        for same_host in (True, False):
+            a, b = _containers(env, same_host=same_host,
+                               tenants=("blue", "red"))
+            decision = policy.decide(a, b)
+            assert decision.mechanism is Mechanism.TCP
+            assert not decision.trusted
+
+    def test_without_rdma_same_host_still_shm(self, env, policy):
+        a, b = _containers(env, same_host=True, rdma=False)
+        assert policy.decide(a, b).mechanism is Mechanism.SHM
+
+    def test_without_rdma_two_hosts_tcp(self, env, policy):
+        a, b = _containers(env, same_host=False, rdma=False)
+        # NO_RDMA_TESTBED also disables DPDK, so the fallback is TCP.
+        assert policy.decide(a, b).mechanism is Mechanism.TCP
+
+
+class TestPolicyKnobs:
+    def test_shm_disabled_colocated_uses_rdma_loopback(self, env):
+        policy = MechanismPolicy(PolicyConfig(allow_shm=False))
+        a, b = _containers(env, same_host=True)
+        assert policy.decide(a, b).mechanism is Mechanism.RDMA
+
+    def test_rdma_disabled_falls_to_dpdk(self, env):
+        policy = MechanismPolicy(PolicyConfig(allow_rdma=False))
+        a, b = _containers(env, same_host=False)
+        assert policy.decide(a, b).mechanism is Mechanism.DPDK
+
+    def test_dpdk_fallback_can_be_disabled(self, env):
+        policy = MechanismPolicy(
+            PolicyConfig(allow_rdma=False, prefer_dpdk_fallback=False)
+        )
+        a, b = _containers(env, same_host=False)
+        assert policy.decide(a, b).mechanism is Mechanism.TCP
+
+    def test_trust_requirement_can_be_waived(self, env):
+        policy = MechanismPolicy(PolicyConfig(require_trust=False))
+        a, b = _containers(env, same_host=True, tenants=("blue", "red"))
+        assert policy.decide(a, b).mechanism is Mechanism.SHM
+
+    def test_different_vms_one_host_default_no_shm(self, env):
+        policy = MechanismPolicy()
+        a, b = _containers(env, same_host=True, vms=("vm0", "vm1"))
+        decision = policy.decide(a, b)
+        assert decision.mechanism is not Mechanism.SHM
+        assert decision.colocated
+
+    def test_netvm_style_shm_across_vms(self, env):
+        policy = MechanismPolicy(PolicyConfig(shm_across_vms=True))
+        a, b = _containers(env, same_host=True, vms=("vm0", "vm1"))
+        assert policy.decide(a, b).mechanism is Mechanism.SHM
+
+    def test_vm_without_sriov_cannot_bypass(self, env):
+        h1 = Host(env, "h1")
+        h2 = Host(env, "h2")
+        vm1 = VirtualMachine(h1, "vm0", VmSpec(sriov=False))
+        vm2 = VirtualMachine(h2, "vm1", VmSpec(sriov=False))
+        a = Container(ContainerSpec("a"), h1, vm1)
+        b = Container(ContainerSpec("b"), h2, vm2)
+        assert MechanismPolicy().decide(a, b).mechanism is Mechanism.TCP
+
+    def test_decision_reason_is_populated(self, env):
+        a, b = _containers(env)
+        decision = MechanismPolicy().decide(a, b)
+        assert decision.reason
+        assert decision.colocated and decision.trusted

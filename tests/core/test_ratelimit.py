@@ -1,0 +1,147 @@
+"""Tests for library-layer rate limiting of kernel-bypass traffic."""
+
+import pytest
+
+from repro.cluster import ContainerSpec
+from repro.core import FreeFlowNetwork, TokenBucket
+from repro.hardware import gbps
+from repro.metrics import run_stream
+
+
+class TestTokenBucket:
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            TokenBucket(env, rate_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            TokenBucket(env, 100, burst_bytes=0)
+
+    def test_burst_passes_instantly(self, env, runner):
+        bucket = TokenBucket(env, rate_bytes_per_s=1000, burst_bytes=500)
+
+        def go():
+            yield from bucket.take(500)
+            return env.now
+
+        assert runner(go()) == 0
+        assert bucket.delays_imposed == 0
+
+    def test_excess_is_delayed_at_rate(self, env, runner):
+        bucket = TokenBucket(env, rate_bytes_per_s=1000, burst_bytes=100)
+
+        def go():
+            yield from bucket.take(100)   # burst
+            yield from bucket.take(1000)  # must wait 1 second
+            return env.now
+
+        assert runner(go()) == pytest.approx(1.0)
+        assert bucket.delays_imposed == 1
+
+    def test_tokens_refill_over_time(self, env, runner):
+        bucket = TokenBucket(env, rate_bytes_per_s=1000, burst_bytes=1000)
+
+        def go():
+            yield from bucket.take(1000)
+            yield env.timeout(0.5)        # 500 tokens accrue
+            started = env.now
+            yield from bucket.take(500)
+            return env.now - started
+
+        assert runner(go()) == pytest.approx(0.0)
+
+    def test_concurrent_takers_share_fairly(self, env):
+        bucket = TokenBucket(env, rate_bytes_per_s=1000, burst_bytes=1)
+        finished = []
+
+        def taker(name):
+            yield from bucket.take(500)
+            finished.append((env.now, name))
+
+        env.process(taker("a"))
+        env.process(taker("b"))
+        env.run()
+        # 1000 tokens total at 1000 B/s: everything done around t=1.
+        assert finished[-1][0] == pytest.approx(1.0, rel=0.05)
+
+    def test_negative_take_rejected(self, env):
+        bucket = TokenBucket(env, 100)
+
+        def go():
+            yield from bucket.take(-1)
+
+        process = env.process(go())
+        with pytest.raises(ValueError):
+            env.run(until=process)
+
+
+class TestTenantRateLimits:
+    def _network(self, cluster, limit_gbps):
+        return FreeFlowNetwork(
+            cluster,
+            tenant_rate_limits={"capped": gbps(limit_gbps)},
+        )
+
+    def _connect(self, env, network, src, dst):
+        def go():
+            connection = yield from network.connect_containers(src, dst)
+            return connection
+
+        return env.run(until=env.process(go()))
+
+    def test_capped_tenant_is_shaped(self, env, cluster):
+        network = self._network(cluster, limit_gbps=5)
+        a = cluster.submit(ContainerSpec("a", tenant="capped",
+                                         pinned_host="h1"))
+        b = cluster.submit(ContainerSpec("b", tenant="capped",
+                                         pinned_host="h1"))
+        network.attach(a)
+        network.attach(b)
+        connection = self._connect(env, network, "a", "b")
+        result = run_stream(env, [(connection.a, connection.b)],
+                            duration_s=0.05, hosts=[a.host])
+        # A shm pair would do ~76 Gb/s; the cap wins.
+        assert result.gbps == pytest.approx(5, rel=0.1)
+
+    def test_uncapped_tenant_unaffected(self, env, cluster):
+        network = self._network(cluster, limit_gbps=5)
+        a = cluster.submit(ContainerSpec("fa", tenant="free",
+                                         pinned_host="h1"))
+        b = cluster.submit(ContainerSpec("fb", tenant="free",
+                                         pinned_host="h1"))
+        network.attach(a)
+        network.attach(b)
+        connection = self._connect(env, network, "fa", "fb")
+        result = run_stream(env, [(connection.a, connection.b)],
+                            duration_s=0.02, hosts=[a.host])
+        assert result.gbps > 60
+
+    def test_limit_shared_across_tenant_connections(self, env, cluster):
+        """Two flows of one capped tenant share one bucket."""
+        network = self._network(cluster, limit_gbps=5)
+        pairs = []
+        for i in range(2):
+            a = cluster.submit(ContainerSpec(f"ca{i}", tenant="capped",
+                                             pinned_host="h1"))
+            b = cluster.submit(ContainerSpec(f"cb{i}", tenant="capped",
+                                             pinned_host="h1"))
+            network.attach(a)
+            network.attach(b)
+            connection = self._connect(env, network, f"ca{i}", f"cb{i}")
+            pairs.append((connection.a, connection.b))
+        host = cluster.host("h1")
+        result = run_stream(env, pairs, duration_s=0.05, hosts=[host])
+        # Aggregate, not per-flow: still ~5 Gb/s total.
+        assert result.gbps == pytest.approx(5, rel=0.15)
+
+    def test_shaping_composes_with_rdma_path(self, env, cluster):
+        network = self._network(cluster, limit_gbps=10)
+        a = cluster.submit(ContainerSpec("ra", tenant="capped",
+                                         pinned_host="h1"))
+        b = cluster.submit(ContainerSpec("rb", tenant="capped",
+                                         pinned_host="h2"))
+        network.attach(a)
+        network.attach(b)
+        connection = self._connect(env, network, "ra", "rb")
+        assert connection.mechanism.value == "rdma"
+        result = run_stream(env, [(connection.a, connection.b)],
+                            duration_s=0.05, hosts=[a.host, b.host])
+        assert result.gbps == pytest.approx(10, rel=0.1)

@@ -1,0 +1,320 @@
+"""Behaviour tests for the socket-over-verbs translation layer."""
+
+import pytest
+
+from repro.cluster import ContainerSpec
+from repro.core import SocketLayer
+from repro.errors import ConnectionRefused, SocketError
+from repro.transports import Mechanism
+
+
+@pytest.fixture
+def layer(network):
+    return SocketLayer(network)
+
+
+@pytest.fixture
+def containers(cluster, network):
+    a = cluster.submit(ContainerSpec("client", pinned_host="h1"))
+    b = cluster.submit(ContainerSpec("server", pinned_host="h1"))
+    c = cluster.submit(ContainerSpec("remote", pinned_host="h2"))
+    for x in (a, b, c):
+        network.attach(x)
+    return a, b, c
+
+
+def _echo_server(env, listener, count=1):
+    """Accept one connection and echo ``count`` messages back."""
+    result = {}
+
+    def server():
+        sock = yield from listener.accept()
+        result["sock"] = sock
+        for _ in range(count):
+            n, payload = yield from sock.recv()
+            yield from sock.send(n, payload=payload)
+
+    env.process(server())
+    return result
+
+
+class TestListenConnect:
+    def test_connect_and_exchange(self, env, layer, containers, runner):
+        client_c, server_c, __ = containers
+        listener = layer.listen(server_c, 8080)
+        _echo_server(env, listener)
+
+        def client():
+            sock = layer.socket(client_c)
+            decision = yield from sock.connect(server_c.ip, 8080)
+            yield from sock.send(1000, payload="hi")
+            n, payload = yield from sock.recv()
+            return decision.mechanism, n, payload
+
+        mechanism, n, payload = runner(client())
+        assert mechanism is Mechanism.SHM
+        assert n == 1000 and payload == "hi"
+
+    def test_interhost_socket_uses_rdma(self, env, layer, containers,
+                                        runner):
+        client_c, __, remote_c = containers
+        listener = layer.listen(remote_c, 9000)
+        _echo_server(env, listener)
+
+        def client():
+            sock = layer.socket(client_c)
+            yield from sock.connect(remote_c.ip, 9000)
+            yield from sock.send(100, payload="x")
+            yield from sock.recv()
+            return sock.mechanism
+
+        assert runner(client()) is Mechanism.RDMA
+
+    def test_connect_refused_without_listener(self, env, layer, containers,
+                                              runner):
+        client_c, server_c, __ = containers
+
+        def client():
+            sock = layer.socket(client_c)
+            yield from sock.connect(server_c.ip, 1234)
+
+        with pytest.raises(ConnectionRefused):
+            runner(client())
+
+    def test_double_bind_rejected(self, layer, containers):
+        __, server_c, __ = containers
+        layer.listen(server_c, 8080)
+        with pytest.raises(SocketError):
+            layer.listen(server_c, 8080)
+
+    def test_closed_listener_refuses(self, env, layer, containers, runner):
+        client_c, server_c, __ = containers
+        listener = layer.listen(server_c, 8080)
+        listener.close()
+
+        def client():
+            sock = layer.socket(client_c)
+            yield from sock.connect(server_c.ip, 8080)
+
+        with pytest.raises(ConnectionRefused):
+            runner(client())
+
+    def test_port_can_be_rebound_after_close(self, layer, containers):
+        __, server_c, __ = containers
+        layer.listen(server_c, 8080).close()
+        layer.listen(server_c, 8080)  # no error
+
+    def test_listen_requires_attached_container(self, cluster, layer):
+        stray = cluster.submit(ContainerSpec("stray"))
+        with pytest.raises(SocketError):
+            layer.listen(stray, 80)
+
+    def test_peer_and_local_addr_set(self, env, layer, containers, runner):
+        client_c, server_c, __ = containers
+        listener = layer.listen(server_c, 8081)
+        _echo_server(env, listener)
+
+        def client():
+            sock = layer.socket(client_c)
+            yield from sock.connect(server_c.ip, 8081)
+            yield from sock.send(10, payload=None)
+            yield from sock.recv()
+            return sock
+
+        sock = runner(client())
+        assert sock.peer_addr.ip == server_c.ip
+        assert sock.peer_addr.port == 8081
+
+
+class TestStreamSemantics:
+    def test_recv_exactly_reassembles(self, env, layer, containers, runner):
+        client_c, server_c, __ = containers
+        listener = layer.listen(server_c, 8080)
+        total = {}
+
+        def server():
+            sock = yield from listener.accept()
+            n, __ = yield from sock.recv_exactly(5000)
+            total["n"] = n
+
+        env.process(server())
+
+        def client():
+            sock = layer.socket(client_c)
+            yield from sock.connect(server_c.ip, 8080)
+            for _ in range(5):
+                yield from sock.send(1000)
+
+        runner(client())
+        env.run(until=env.now + 0.01)
+        assert total["n"] == 5000
+
+    def test_large_send_fragments(self, env, layer, containers, runner):
+        from repro.core.sockets import MAX_FRAGMENT_BYTES
+
+        client_c, server_c, __ = containers
+        listener = layer.listen(server_c, 8080)
+        got = {}
+
+        def server():
+            sock = yield from listener.accept()
+            n, __ = yield from sock.recv_exactly(3 * MAX_FRAGMENT_BYTES)
+            got["n"] = n
+
+        env.process(server())
+
+        def client():
+            sock = layer.socket(client_c)
+            yield from sock.connect(server_c.ip, 8080)
+            sent = yield from sock.send(3 * MAX_FRAGMENT_BYTES)
+            return sent
+
+        assert runner(client()) == 3 * MAX_FRAGMENT_BYTES
+        env.run(until=env.now + 0.05)
+        assert got["n"] == 3 * MAX_FRAGMENT_BYTES
+
+    def test_recv_returns_available_prefix(self, env, layer, containers,
+                                           runner):
+        client_c, server_c, __ = containers
+        listener = layer.listen(server_c, 8080)
+        chunks = []
+
+        def server():
+            sock = yield from listener.accept()
+            n1, __ = yield from sock.recv(max_bytes=300)
+            n2, __ = yield from sock.recv(max_bytes=10_000)
+            chunks.extend([n1, n2])
+
+        env.process(server())
+
+        def client():
+            sock = layer.socket(client_c)
+            yield from sock.connect(server_c.ip, 8080)
+            yield from sock.send(1000)
+
+        runner(client())
+        env.run(until=env.now + 0.01)
+        assert chunks == [300, 700]
+
+    def test_send_recv_validation(self, env, layer, containers, runner):
+        client_c, server_c, __ = containers
+        listener = layer.listen(server_c, 8080)
+        _echo_server(env, listener)
+
+        def client():
+            sock = layer.socket(client_c)
+            yield from sock.connect(server_c.ip, 8080)
+            return sock
+
+        sock = runner(client())
+
+        def bad_send():
+            yield from sock.send(0)
+
+        process = env.process(bad_send())
+        with pytest.raises(SocketError):
+            env.run(until=process)
+
+    def test_unconnected_socket_rejects_io(self, env, layer, containers):
+        sock = layer.socket(containers[0])
+
+        def io():
+            yield from sock.send(10)
+
+        process = env.process(io())
+        with pytest.raises(SocketError):
+            env.run(until=process)
+
+    def test_closed_socket_rejects_io(self, env, layer, containers, runner):
+        client_c, server_c, __ = containers
+        listener = layer.listen(server_c, 8080)
+        _echo_server(env, listener)
+
+        def client():
+            sock = layer.socket(client_c)
+            yield from sock.connect(server_c.ip, 8080)
+            sock.close()
+            yield from sock.send(10)
+
+        with pytest.raises(SocketError):
+            runner(client())
+
+
+class TestShutdownSemantics:
+    def test_shutdown_delivers_eof(self, env, layer, containers, runner):
+        client_c, server_c, __ = containers
+        listener = layer.listen(server_c, 8080)
+        result = {}
+
+        def server():
+            sock = yield from listener.accept()
+            n1, payload = yield from sock.recv()
+            n2, p2 = yield from sock.recv()     # peer shut down -> EOF
+            n3, p3 = yield from sock.recv()     # EOF is sticky
+            result["got"] = (n1, payload, n2, p2, n3, p3)
+
+        env.process(server())
+
+        def client():
+            sock = layer.socket(client_c)
+            yield from sock.connect(server_c.ip, 8080)
+            yield from sock.send(500, payload="bye")
+            yield from sock.shutdown()
+
+        runner(client())
+        env.run(until=env.now + 0.01)
+        assert result["got"] == (500, "bye", 0, None, 0, None)
+
+    def test_eof_after_buffered_data_drained(self, env, layer, containers,
+                                             runner):
+        client_c, server_c, __ = containers
+        listener = layer.listen(server_c, 8080)
+        result = {}
+
+        def server():
+            sock = yield from listener.accept()
+            yield env.timeout(0.005)  # let data + FIN queue up
+            n1, __ = yield from sock.recv()
+            n2, __ = yield from sock.recv()
+            n3, __ = yield from sock.recv()
+            result["got"] = (n1, n2, n3)
+
+        env.process(server())
+
+        def client():
+            sock = layer.socket(client_c)
+            yield from sock.connect(server_c.ip, 8080)
+            yield from sock.send(100)
+            yield from sock.send(200)
+            yield from sock.shutdown()
+
+        runner(client())
+        env.run(until=env.now + 0.02)
+        # Buffered data must be fully readable before EOF appears.
+        assert result["got"][0] + result["got"][1] == 300
+        assert result["got"][2] == 0
+
+    def test_shutdown_unconnected_is_noop(self, env, layer, containers,
+                                          runner):
+        sock = layer.socket(containers[0])
+
+        def go():
+            yield from sock.shutdown()
+
+        runner(go())
+        assert sock.closed
+
+    def test_send_after_shutdown_rejected(self, env, layer, containers,
+                                          runner):
+        client_c, server_c, __ = containers
+        layer.listen(server_c, 8080)
+
+        def client():
+            sock = layer.socket(client_c)
+            yield from sock.connect(server_c.ip, 8080)
+            yield from sock.shutdown()
+            yield from sock.send(10)
+
+        from repro.errors import SocketError
+        with pytest.raises(SocketError):
+            runner(client())

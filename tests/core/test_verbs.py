@@ -1,0 +1,211 @@
+"""Unit tests for the verbs API objects (no data plane needed)."""
+
+import pytest
+
+from repro.cluster import ContainerSpec
+from repro.core import (
+    CompletionQueue,
+    Opcode,
+    QpState,
+    WcStatus,
+    WorkCompletion,
+    WorkRequest,
+)
+from repro.errors import (
+    CompletionError,
+    MemoryRegionError,
+    QueuePairStateError,
+    VerbsError,
+)
+
+
+@pytest.fixture
+def vnic(cluster, network):
+    container = cluster.submit(ContainerSpec("c", pinned_host="h1"))
+    return network.attach(container)
+
+
+@pytest.fixture
+def pd(vnic):
+    return vnic.alloc_pd()
+
+
+@pytest.fixture
+def qp(vnic, pd):
+    return vnic.create_qp(pd, vnic.create_cq(), vnic.create_cq())
+
+
+class TestMemoryRegion:
+    def test_keys_are_unique(self, vnic, pd):
+        a = vnic.reg_mr(pd, 1000)
+        b = vnic.reg_mr(pd, 1000)
+        assert len({a.lkey, a.rkey, b.lkey, b.rkey}) == 4
+
+    def test_bounds_checking(self, vnic, pd):
+        mr = vnic.reg_mr(pd, 100)
+        mr.check_range(0, 100)
+        with pytest.raises(MemoryRegionError):
+            mr.check_range(0, 101)
+        with pytest.raises(MemoryRegionError):
+            mr.check_range(-1, 10)
+        with pytest.raises(MemoryRegionError):
+            mr.check_range(95, 10)
+
+    def test_write_read_contents(self, vnic, pd):
+        mr = vnic.reg_mr(pd, 1000)
+        mr.write(10, 50, "payload")
+        assert mr.read(10, 50) == "payload"
+        assert mr.bytes_written == 50
+
+    def test_deregistered_mr_rejects_access(self, vnic, pd):
+        mr = vnic.reg_mr(pd, 100)
+        vnic.dereg_mr(mr)
+        with pytest.raises(MemoryRegionError):
+            mr.check_range(0, 10)
+        assert vnic.lookup_rkey(mr.rkey) is None
+
+    def test_zero_length_rejected(self, vnic, pd):
+        with pytest.raises(MemoryRegionError):
+            vnic.reg_mr(pd, 0)
+
+    def test_foreign_pd_rejected(self, cluster, network, vnic):
+        other_container = cluster.submit(ContainerSpec("o", pinned_host="h1"))
+        other_vnic = network.attach(other_container)
+        other_pd = other_vnic.alloc_pd()
+        with pytest.raises(VerbsError):
+            vnic.reg_mr(other_pd, 100)
+
+
+class TestWorkRequest:
+    def test_write_needs_remote_key(self):
+        with pytest.raises(VerbsError):
+            WorkRequest(opcode=Opcode.WRITE, length=10)
+
+    def test_read_needs_remote_key(self):
+        with pytest.raises(VerbsError):
+            WorkRequest(opcode=Opcode.READ, length=10)
+
+    def test_recv_needs_mr(self):
+        with pytest.raises(VerbsError):
+            WorkRequest(opcode=Opcode.RECV, length=10)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(VerbsError):
+            WorkRequest(opcode=Opcode.SEND, length=-1)
+
+
+class TestCompletionQueue:
+    def _wc(self, env, wr_id=1):
+        return WorkCompletion(
+            wr_id=wr_id, status=WcStatus.SUCCESS, opcode=Opcode.SEND,
+            byte_len=0, qp_num=1, timestamp=env.now,
+        )
+
+    def test_poll_drains_in_order(self, env):
+        cq = CompletionQueue(env)
+        cq.push(self._wc(env, 1))
+        cq.push(self._wc(env, 2))
+        polled = cq.poll()
+        assert [wc.wr_id for wc in polled] == [1, 2]
+        assert cq.poll() == []
+
+    def test_poll_respects_max_entries(self, env):
+        cq = CompletionQueue(env)
+        for i in range(5):
+            cq.push(self._wc(env, i))
+        assert len(cq.poll(max_entries=3)) == 3
+        assert len(cq) == 2
+
+    def test_poll_invalid_max(self, env):
+        cq = CompletionQueue(env)
+        with pytest.raises(VerbsError):
+            cq.poll(0)
+
+    def test_overrun_raises(self, env):
+        cq = CompletionQueue(env, depth=2)
+        cq.push(self._wc(env))
+        cq.push(self._wc(env))
+        with pytest.raises(CompletionError):
+            cq.push(self._wc(env))
+        assert cq.overflowed
+
+    def test_wait_blocks_until_completion(self, env, runner):
+        cq = CompletionQueue(env)
+
+        def waiter():
+            wc = yield from cq.wait()
+            return wc.wr_id
+
+        def pusher():
+            yield env.timeout(1)
+            cq.push(self._wc(env, 42))
+
+        env.process(pusher())
+        process = env.process(waiter())
+        assert env.run(until=process) == 42
+
+    def test_bad_depth(self, env):
+        with pytest.raises(VerbsError):
+            CompletionQueue(env, depth=0)
+
+
+class TestQueuePairStateMachine:
+    def test_legal_progression(self, qp):
+        assert qp.state is QpState.RESET
+        for state in (QpState.INIT, QpState.RTR, QpState.RTS):
+            qp.modify(state)
+        assert qp.state is QpState.RTS
+
+    def test_illegal_jump_rejected(self, qp):
+        with pytest.raises(QueuePairStateError):
+            qp.modify(QpState.RTS)  # RESET -> RTS is illegal
+
+    def test_post_send_requires_rts(self, env, qp):
+        wr = WorkRequest(opcode=Opcode.SEND, length=10)
+
+        def post():
+            yield from qp.post_send(wr)
+
+        process = env.process(post())
+        with pytest.raises(QueuePairStateError):
+            env.run(until=process)
+
+    def test_post_recv_requires_at_least_init(self, vnic, pd, qp):
+        mr = vnic.reg_mr(pd, 100)
+        wr = WorkRequest(opcode=Opcode.RECV, length=10, local_mr=mr)
+        with pytest.raises(QueuePairStateError):
+            qp.post_recv(wr)
+        qp.modify(QpState.INIT)
+        qp.post_recv(wr)
+        assert len(qp.rq.items) == 1
+
+    def test_post_recv_rejects_send_opcode(self, vnic, pd, qp):
+        qp.modify(QpState.INIT)
+        mr = vnic.reg_mr(pd, 100)
+        with pytest.raises(VerbsError):
+            qp.post_recv(WorkRequest(opcode=Opcode.SEND, length=10,
+                                     local_mr=mr))
+
+    def test_error_state_flushes_receives(self, vnic, pd, qp):
+        qp.modify(QpState.INIT)
+        mr = vnic.reg_mr(pd, 100)
+        qp.post_recv(WorkRequest(opcode=Opcode.RECV, length=10, local_mr=mr,
+                                 wr_id=7))
+        qp.modify(QpState.ERROR)
+        flushed = qp.recv_cq.poll()
+        assert len(flushed) == 1
+        assert flushed[0].status is WcStatus.WR_FLUSH_ERROR
+        assert flushed[0].wr_id == 7
+
+    def test_qp_numbers_unique(self, vnic, pd):
+        a = vnic.create_qp(pd, vnic.create_cq(), vnic.create_cq())
+        b = vnic.create_qp(pd, vnic.create_cq(), vnic.create_cq())
+        assert a.qp_num != b.qp_num
+
+    def test_foreign_pd_rejected(self, cluster, network, vnic):
+        other = network.attach(
+            cluster.submit(ContainerSpec("x", pinned_host="h2"))
+        )
+        other_pd = other.alloc_pd()
+        with pytest.raises(VerbsError):
+            vnic.create_qp(other_pd, vnic.create_cq(), vnic.create_cq())

@@ -1,0 +1,102 @@
+"""Unit tests for the shared-bandwidth pipe."""
+
+import pytest
+
+from repro.hardware import BandwidthPipe
+from repro.sim import Environment
+
+
+def test_uncontended_transfer_time(env, runner):
+    pipe = BandwidthPipe(env, rate_bytes=1000, chunk_bytes=100)
+
+    def move():
+        seconds = yield from pipe.transfer(500)
+        return seconds
+
+    assert runner(move()) == pytest.approx(0.5)
+
+
+def test_two_flows_share_capacity(env):
+    pipe = BandwidthPipe(env, rate_bytes=1000, chunk_bytes=10)
+    finished = []
+
+    def move(name):
+        yield from pipe.transfer(500)
+        finished.append((env.now, name))
+
+    env.process(move("a"))
+    env.process(move("b"))
+    env.run()
+    # 1000 bytes total through a 1000 B/s pipe => both done around 1s.
+    assert finished[-1][0] == pytest.approx(1.0, rel=0.05)
+    # Fair sharing: the first finisher cannot be much earlier.
+    assert finished[0][0] > 0.9
+
+
+def test_aggregate_rate_is_capacity(env):
+    pipe = BandwidthPipe(env, rate_bytes=1000, chunk_bytes=50)
+
+    def move():
+        yield from pipe.transfer(250)
+
+    for _ in range(4):
+        env.process(move())
+    env.run()
+    assert env.now == pytest.approx(1.0)
+    assert pipe.bytes_moved == 1000
+
+
+def test_zero_bytes_transfer_is_instant(env, runner):
+    pipe = BandwidthPipe(env, rate_bytes=1000)
+
+    def move():
+        seconds = yield from pipe.transfer(0)
+        return seconds
+
+    assert runner(move()) == 0
+
+
+def test_negative_bytes_rejected(env):
+    pipe = BandwidthPipe(env, rate_bytes=1000)
+
+    def move():
+        yield from pipe.transfer(-5)
+
+    process = env.process(move())
+    with pytest.raises(ValueError):
+        env.run(until=process)
+
+
+def test_invalid_construction(env):
+    with pytest.raises(ValueError):
+        BandwidthPipe(env, rate_bytes=0)
+    with pytest.raises(ValueError):
+        BandwidthPipe(env, rate_bytes=10, chunk_bytes=0)
+
+
+def test_utilisation_full_when_saturated(env):
+    pipe = BandwidthPipe(env, rate_bytes=1000, chunk_bytes=100)
+
+    def move():
+        yield from pipe.transfer(1000)
+
+    env.process(move())
+    env.run()
+    assert pipe.utilisation() == pytest.approx(1.0)
+
+
+def test_seconds_for(env):
+    pipe = BandwidthPipe(env, rate_bytes=2000)
+    assert pipe.seconds_for(1000) == pytest.approx(0.5)
+
+
+def test_reset_accounting(env):
+    pipe = BandwidthPipe(env, rate_bytes=1000)
+
+    def move():
+        yield from pipe.transfer(100)
+
+    env.process(move())
+    env.run()
+    pipe.reset_accounting()
+    assert pipe.bytes_moved == 0

@@ -1,0 +1,114 @@
+"""Unit tests for hosts, VMs and the specs module."""
+
+import pytest
+
+from repro.hardware import (
+    Host,
+    HostSpec,
+    NicSpec,
+    PAPER_TESTBED,
+    VirtualMachine,
+    VmSpec,
+    gbps,
+    to_gbps,
+)
+from repro.sim import Environment
+
+
+def test_gbps_roundtrip():
+    assert to_gbps(gbps(40)) == pytest.approx(40)
+    assert gbps(8) == pytest.approx(1e9)
+
+
+def test_paper_testbed_matches_paper():
+    spec = PAPER_TESTBED
+    assert spec.cpu.cores == 4
+    assert spec.cpu.frequency_hz == pytest.approx(2.4e9)
+    assert spec.memory.capacity_bytes == pytest.approx(67e9)
+    assert spec.nic.link_rate_bps == pytest.approx(40e9)
+    assert "CX3" in spec.nic.model
+
+
+def test_without_rdma_strips_bypass():
+    plain = PAPER_TESTBED.without_rdma()
+    assert not plain.nic.rdma_capable
+    assert not plain.nic.dpdk_capable
+    # The original is untouched (frozen dataclasses).
+    assert PAPER_TESTBED.nic.rdma_capable
+
+
+def test_wire_bytes_overhead():
+    kernel = PAPER_TESTBED.kernel
+    assert kernel.wire_bytes(0) == 0
+    assert kernel.wire_bytes(100) == 100 + kernel.header_bytes
+    two_packets = kernel.wire_bytes(kernel.mtu_bytes + 1)
+    assert two_packets == kernel.mtu_bytes + 1 + 2 * kernel.header_bytes
+
+
+def test_host_memcpy_uses_cpu(env):
+    host = Host(env, "h1")
+
+    def copy():
+        yield from host.memcpy(1 << 20)
+
+    env.process(copy())
+    env.run()
+    assert host.cpu.utilisation() > 0.9
+
+
+def test_host_dma_uses_no_cpu(env):
+    host = Host(env, "h1")
+
+    def copy():
+        yield from host.dma(1 << 20)
+
+    env.process(copy())
+    env.run()
+    assert host.cpu.utilisation() == pytest.approx(0.0)
+
+
+def test_vm_registration_and_colocation(env):
+    h1 = Host(env, "h1")
+    h2 = Host(env, "h2")
+    vm1 = VirtualMachine(h1, "vm1")
+    vm2 = VirtualMachine(h1, "vm2")
+    vm3 = VirtualMachine(h2, "vm3")
+    assert vm1 in h1.vms and vm2 in h1.vms
+    assert vm1.same_machine(vm2)
+    assert not vm1.same_machine(vm3)
+    assert vm1.same_vm(vm1)
+    assert not vm1.same_vm(vm2)
+
+
+def test_vm_sriov_requires_rdma_nic(env):
+    plain = Host(env, "h1", spec=PAPER_TESTBED.without_rdma())
+    vm = VirtualMachine(plain, "vm1", VmSpec(sriov=True))
+    assert not vm.sriov
+    capable = Host(env, "h2")
+    vm2 = VirtualMachine(capable, "vm2", VmSpec(sriov=True))
+    assert vm2.sriov
+
+
+def test_virtio_tax_costs_cpu_and_latency(env):
+    host = Host(env, "h1")
+    vm = VirtualMachine(host, "vm1", VmSpec(sriov=False))
+
+    def taxed():
+        yield from vm.virtio_tax(1 << 20, 16)
+        return env.now
+
+    process = env.process(taxed())
+    elapsed = env.run(until=process)
+    expected_cpu = host.cpu.seconds_for(vm.virtio_cost_cycles(1 << 20, 16))
+    assert elapsed == pytest.approx(expected_cpu + vm.spec.virtio_latency_s)
+    assert host.cpu.utilisation() > 0
+
+
+def test_vm_on_wrong_host_rejected_by_container_model(env):
+    from repro.cluster import ContainerSpec
+    from repro.cluster.container import Container
+
+    h1, h2 = Host(env, "h1"), Host(env, "h2")
+    vm = VirtualMachine(h2, "vm1")
+    with pytest.raises(ValueError):
+        Container(ContainerSpec("c"), h1, vm)

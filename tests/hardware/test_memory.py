@@ -1,0 +1,111 @@
+"""Unit tests for the memory bus model."""
+
+import pytest
+
+from repro.hardware import CpuSet, CpuSpec, MemoryBus, MemorySpec
+from repro.sim import Environment
+
+
+@pytest.fixture
+def bus(env):
+    # 1000 B/s bus, copies cost 1 cycle/byte at 1 kHz => 1 B/s/core?? No:
+    # keep numbers simple: 1 GHz core, 0.5 cycles/byte => 2e9 B/s/core,
+    # bus 1e9 B/s => bus-bound copies.
+    spec = MemorySpec(
+        capacity_bytes=1e6,
+        bus_bandwidth_bps=8e9,  # 1e9 bytes/s
+        copy_cycles_per_byte=0.5,
+        chunk_bytes=1000,
+    )
+    return MemoryBus(env, spec)
+
+
+@pytest.fixture
+def cpu(env):
+    return CpuSet(env, CpuSpec(cores=2, frequency_hz=1e9))
+
+
+def test_dma_is_bus_bound(env, bus, runner):
+    def move():
+        yield from bus.dma(1e6)
+        return env.now
+
+    assert runner(move()) == pytest.approx(1e-3)
+
+
+def test_copy_bus_bound_case(env, bus, cpu, runner):
+    # Core copy rate = 1e9/0.5 = 2e9 B/s > bus 1e9 B/s => bus-bound.
+    def move():
+        yield from bus.copy(cpu, 1e6)
+        return env.now
+
+    assert runner(move()) == pytest.approx(1e-3)
+
+
+def test_copy_cpu_bound_case(env, runner):
+    spec = MemorySpec(
+        bus_bandwidth_bps=8e12,  # effectively infinite bus
+        copy_cycles_per_byte=2.0,
+        chunk_bytes=1 << 20,
+    )
+    bus = MemoryBus(env, spec)
+    cpu = CpuSet(env, CpuSpec(cores=1, frequency_hz=1e9))
+
+    def move():
+        yield from bus.copy(cpu, 1e6)  # 2e6 cycles = 2 ms
+        return env.now
+
+    assert runner(move()) == pytest.approx(2e-3)
+
+
+def test_copy_holds_a_core_the_whole_time(env, bus, cpu):
+    def move():
+        yield from bus.copy(cpu, 1e6)
+
+    env.process(move())
+    env.run()
+    assert cpu.utilisation() == pytest.approx(1.0, rel=0.01)
+
+
+def test_concurrent_copies_share_the_bus(env, bus, cpu):
+    finished = []
+
+    def move(name):
+        yield from bus.copy(cpu, 5e5)
+        finished.append((env.now, name))
+
+    env.process(move("a"))
+    env.process(move("b"))
+    env.run()
+    assert finished[-1][0] == pytest.approx(1e-3, rel=0.05)
+
+
+def test_allocate_and_free(bus):
+    bus.allocate(5e5)
+    assert bus.allocated_bytes == 5e5
+    bus.free(2e5)
+    assert bus.allocated_bytes == 3e5
+
+
+def test_allocate_beyond_capacity_raises(bus):
+    with pytest.raises(MemoryError):
+        bus.allocate(2e6)
+
+
+def test_negative_allocation_rejected(bus):
+    with pytest.raises(ValueError):
+        bus.allocate(-1)
+
+
+def test_free_never_goes_negative(bus):
+    bus.allocate(100)
+    bus.free(1e9)
+    assert bus.allocated_bytes == 0
+
+
+def test_zero_byte_copy_is_free(env, bus, cpu, runner):
+    def move():
+        yield from bus.copy(cpu, 0)
+        return env.now
+
+    assert runner(move()) == 0

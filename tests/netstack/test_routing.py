@@ -1,0 +1,105 @@
+"""Unit tests for route tables and the routing mesh."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.netstack import RouteTable, RoutingMesh
+
+
+class TestRouteTable:
+    def test_host_route_lookup(self):
+        table = RouteTable("h1")
+        table.install("10.32.0.5", "h2")
+        assert table.lookup("10.32.0.5") == "h2"
+
+    def test_longest_prefix_wins(self):
+        table = RouteTable("h1")
+        table.install("10.32.0.0/16", "default-hop")
+        table.install("10.32.1.0/24", "specific-hop")
+        assert table.lookup("10.32.1.9") == "specific-hop"
+        assert table.lookup("10.32.2.9") == "default-hop"
+
+    def test_missing_route_raises(self):
+        table = RouteTable("h1")
+        with pytest.raises(RoutingError):
+            table.lookup("10.0.0.1")
+
+    def test_withdraw(self):
+        table = RouteTable("h1")
+        table.install("10.32.0.5", "h2")
+        table.withdraw("10.32.0.5")
+        assert not table.knows("10.32.0.5")
+
+    def test_replace_route(self):
+        table = RouteTable("h1")
+        table.install("10.32.0.5", "h2")
+        table.install("10.32.0.5", "h3")
+        assert table.lookup("10.32.0.5") == "h3"
+        assert len(table) == 1
+
+    def test_bad_inputs(self):
+        table = RouteTable("h1")
+        with pytest.raises(RoutingError):
+            table.install("garbage", "h2")
+        with pytest.raises(RoutingError):
+            table.lookup("garbage")
+
+
+class TestRoutingMesh:
+    def test_join_gives_empty_table(self, env):
+        mesh = RoutingMesh(env)
+        table = mesh.join("h1")
+        assert len(table) == 0
+        assert mesh.table("h1") is table
+
+    def test_duplicate_join_rejected(self, env):
+        mesh = RoutingMesh(env)
+        mesh.join("h1")
+        with pytest.raises(RoutingError):
+            mesh.join("h1")
+
+    def test_unknown_table_rejected(self, env):
+        mesh = RoutingMesh(env)
+        with pytest.raises(RoutingError):
+            mesh.table("nope")
+
+    def test_immediate_announce_reaches_everyone(self, env):
+        mesh = RoutingMesh(env)
+        t1, t2 = mesh.join("h1"), mesh.join("h2")
+        mesh.announce("10.32.0.5", "h1", immediate=True)
+        assert t1.lookup("10.32.0.5") == "h1"
+        assert t2.lookup("10.32.0.5") == "h1"
+
+    def test_convergence_delay_creates_staleness_window(self, env):
+        mesh = RoutingMesh(env, convergence_delay_s=0.5)
+        t1, t2 = mesh.join("h1"), mesh.join("h2")
+        mesh.announce("10.32.0.5", "h1")
+        # Owner's table updates instantly; the peer is stale.
+        assert t1.knows("10.32.0.5")
+        assert not t2.knows("10.32.0.5")
+        env.run(until=0.6)
+        assert t2.lookup("10.32.0.5") == "h1"
+
+    def test_withdraw_propagates(self, env):
+        mesh = RoutingMesh(env, convergence_delay_s=0.1)
+        t1, t2 = mesh.join("h1"), mesh.join("h2")
+        mesh.announce("10.32.0.5", "h1", immediate=True)
+        mesh.withdraw("10.32.0.5")
+        assert t2.knows("10.32.0.5")  # still converging
+        env.run(until=0.2)
+        assert not t1.knows("10.32.0.5")
+        assert not t2.knows("10.32.0.5")
+
+    def test_leave_stops_updates(self, env):
+        mesh = RoutingMesh(env, convergence_delay_s=0.1)
+        mesh.join("h1")
+        mesh.join("h2")
+        mesh.announce("10.32.0.5", "h1")
+        mesh.leave("h2")
+        env.run()  # in-flight flood must not crash on the absent router
+
+    def test_zero_delay_mesh_is_immediate(self, env):
+        mesh = RoutingMesh(env, convergence_delay_s=0.0)
+        __, t2 = mesh.join("h1"), mesh.join("h2")
+        mesh.announce("10.32.0.9", "h1")
+        assert t2.knows("10.32.0.9")

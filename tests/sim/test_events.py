@@ -1,0 +1,137 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.sim import Environment, Event, EventAlreadyTriggered, Timeout
+from repro.sim.events import AllOf, AnyOf
+
+
+class TestEvent:
+    def test_starts_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_sets_value(self, env):
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_succeed_twice_raises(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed()
+
+    def test_fail_then_succeed_raises(self, env):
+        event = env.event()
+        event.fail(RuntimeError("boom"))
+        event.defused = True
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, env):
+        event = env.event()
+        with pytest.raises(RuntimeError):
+            __ = event.value
+        with pytest.raises(RuntimeError):
+            __ = event.ok
+
+    def test_unhandled_failure_surfaces_in_run(self, env):
+        event = env.event()
+        event.fail(ValueError("nobody caught me"))
+        with pytest.raises(ValueError, match="nobody caught me"):
+            env.run()
+
+    def test_defused_failure_passes_silently(self, env):
+        event = env.event()
+        event.fail(ValueError("defused"))
+        event.defused = True
+        env.run()  # must not raise
+
+    def test_callbacks_run_on_processing(self, env):
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("hello")
+        env.run()
+        assert seen == ["hello"]
+        assert event.processed
+
+
+class TestTimeout:
+    def test_fires_at_the_right_time(self, env):
+        timeout = env.timeout(2.5, value="done")
+        env.run()
+        assert env.now == 2.5
+        assert timeout.value == "done"
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_zero_delay_ok(self, env):
+        env.timeout(0)
+        env.run()
+        assert env.now == 0
+
+    def test_cannot_be_triggered_manually(self, env):
+        timeout = env.timeout(1)
+        with pytest.raises(RuntimeError):
+            timeout.succeed()
+        with pytest.raises(RuntimeError):
+            timeout.fail(RuntimeError())
+
+    def test_delay_property(self, env):
+        assert env.timeout(3.25).delay == 3.25
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self, env):
+        first, second = env.timeout(1, "a"), env.timeout(2, "b")
+        condition = env.all_of([first, second])
+        env.run(until=condition)
+        assert env.now == 2
+        assert set(condition.value.values()) == {"a", "b"}
+
+    def test_any_of_fires_on_first(self, env):
+        slow, fast = env.timeout(10, "slow"), env.timeout(1, "fast")
+        condition = env.any_of([slow, fast])
+        value = env.run(until=condition)
+        assert env.now == 1
+        assert list(value.values()) == ["fast"]
+
+    def test_empty_all_of_is_immediate(self, env):
+        condition = env.all_of([])
+        assert condition.triggered
+
+    def test_empty_any_of_is_immediate(self, env):
+        condition = env.any_of([])
+        assert condition.triggered
+
+    def test_failed_child_fails_condition(self, env):
+        good = env.timeout(1)
+        bad = env.event()
+        condition = env.all_of([good, bad])
+        bad.fail(RuntimeError("child died"))
+        with pytest.raises(RuntimeError, match="child died"):
+            env.run(until=condition)
+
+    def test_condition_over_processed_events(self, env):
+        done = env.timeout(1, "x")
+        env.run()
+        condition = AllOf(env, [done])
+        env.run()
+        assert condition.value[done] == "x"
+
+    def test_mixed_environments_rejected(self, env):
+        other = Environment()
+        with pytest.raises(ValueError):
+            env.all_of([env.timeout(1), other.timeout(1)])

@@ -1,0 +1,150 @@
+"""Unit tests for the measurement instruments."""
+
+import pytest
+
+from repro.sim import Environment, IntervalRecorder, Series, TimeWeighted
+
+
+class TestTimeWeighted:
+    def test_constant_signal(self, env):
+        tracker = TimeWeighted(env, initial=3.0)
+        env.timeout(10)
+        env.run()
+        assert tracker.mean() == pytest.approx(3.0)
+
+    def test_step_change_weighting(self, env):
+        tracker = TimeWeighted(env, initial=0.0)
+
+        def driver():
+            yield env.timeout(4)
+            tracker.record(10.0)
+            yield env.timeout(6)
+
+        env.process(driver())
+        env.run()
+        # 0 for 4s, 10 for 6s over 10s => 6.0
+        assert tracker.mean() == pytest.approx(6.0)
+
+    def test_add_is_relative(self, env):
+        tracker = TimeWeighted(env, initial=1.0)
+        tracker.add(2.0)
+        assert tracker.value == 3.0
+        tracker.add(-3.0)
+        assert tracker.value == 0.0
+
+    def test_min_max(self, env):
+        tracker = TimeWeighted(env)
+        tracker.record(5)
+        tracker.record(-2)
+        assert tracker.maximum() == 5
+        assert tracker.minimum() == -2
+
+    def test_reset_restarts_window(self, env):
+        tracker = TimeWeighted(env, initial=10)
+
+        def driver():
+            yield env.timeout(5)
+            tracker.reset()
+            tracker.record(2)
+            yield env.timeout(5)
+
+        env.process(driver())
+        env.run()
+        assert tracker.mean() == pytest.approx(2.0)
+
+    def test_mean_with_zero_span(self, env):
+        tracker = TimeWeighted(env, initial=7)
+        assert tracker.mean() == 7
+
+
+class TestSeries:
+    def test_basic_stats(self):
+        series = Series()
+        series.extend([1, 2, 3, 4, 5])
+        assert series.mean() == 3
+        assert series.minimum() == 1
+        assert series.maximum() == 5
+        assert series.median() == 3
+        assert len(series) == 5
+
+    def test_percentile_interpolation(self):
+        series = Series()
+        series.extend([0, 10])
+        assert series.percentile(50) == pytest.approx(5)
+        assert series.percentile(0) == 0
+        assert series.percentile(100) == 10
+
+    def test_percentile_single_sample(self):
+        series = Series()
+        series.add(42)
+        assert series.percentile(99) == 42
+
+    def test_empty_series_raises(self):
+        series = Series()
+        with pytest.raises(ValueError):
+            series.mean()
+        with pytest.raises(ValueError):
+            series.percentile(50)
+
+    def test_bad_percentile_rejected(self):
+        series = Series()
+        series.add(1)
+        with pytest.raises(ValueError):
+            series.percentile(101)
+
+    def test_stdev(self):
+        series = Series()
+        series.extend([2, 4, 4, 4, 5, 5, 7, 9])
+        assert series.stdev() == pytest.approx(2.138, abs=1e-3)
+        single = Series()
+        single.add(1)
+        assert single.stdev() == 0.0
+
+    def test_summary_keys(self):
+        series = Series()
+        series.extend(range(100))
+        summary = series.summary()
+        assert set(summary) == {"count", "mean", "min", "p50", "p99", "max"}
+        assert summary["count"] == 100
+
+    def test_samples_are_copied(self):
+        series = Series()
+        series.add(1)
+        external = series.samples
+        external.append(2)
+        assert len(series) == 1
+
+
+class TestIntervalRecorder:
+    def test_utilisation_of_half_busy_worker(self, env):
+        recorder = IntervalRecorder(env)
+
+        def driver():
+            recorder.busy()
+            yield env.timeout(5)
+            recorder.idle()
+            yield env.timeout(5)
+
+        env.process(driver())
+        env.run()
+        assert recorder.utilisation() == pytest.approx(0.5)
+        assert recorder.utilisation_percent() == pytest.approx(50.0)
+
+    def test_two_workers_counted(self, env):
+        recorder = IntervalRecorder(env)
+
+        def driver():
+            recorder.busy(2)
+            yield env.timeout(10)
+            recorder.idle(2)
+
+        env.process(driver())
+        env.run()
+        assert recorder.utilisation() == pytest.approx(2.0)
+
+    def test_active_tracks_current(self, env):
+        recorder = IntervalRecorder(env)
+        recorder.busy(3)
+        assert recorder.active == 3
+        recorder.idle()
+        assert recorder.active == 2

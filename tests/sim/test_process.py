@@ -1,0 +1,179 @@
+"""Unit tests for simulation processes."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+
+
+def test_process_returns_generator_value(env, runner):
+    def work():
+        yield env.timeout(1)
+        return "result"
+
+    assert runner(work()) == "result"
+    assert env.now == 1
+
+
+def test_process_is_an_event(env):
+    def work():
+        yield env.timeout(1)
+        return 7
+
+    process = env.process(work())
+
+    def waiter():
+        value = yield process
+        return value * 2
+
+    outer = env.process(waiter())
+    assert env.run(until=outer) == 14
+
+
+def test_sequential_timeouts_accumulate(env, runner):
+    def work():
+        yield env.timeout(1)
+        yield env.timeout(2)
+        return env.now
+
+    assert runner(work()) == 3
+
+
+def test_non_generator_rejected(env):
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_yielding_non_event_raises(env):
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(TypeError, match="not an Event"):
+        env.run()
+
+
+def test_exception_in_process_propagates_to_waiter(env):
+    def failing():
+        yield env.timeout(1)
+        raise ValueError("inner")
+
+    def waiter():
+        try:
+            yield env.process(failing())
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    process = env.process(waiter())
+    assert env.run(until=process) == "caught inner"
+
+
+def test_unwaited_process_failure_surfaces(env):
+    def failing():
+        yield env.timeout(1)
+        raise ValueError("unhandled")
+
+    env.process(failing())
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_interrupt_carries_cause(env):
+    def sleeper():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            return interrupt.cause
+
+    def interrupter(target):
+        yield env.timeout(5)
+        target.interrupt("wake up")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    assert env.run(until=target) == "wake up"
+    assert env.now == 5
+
+
+def test_interrupt_dead_process_raises(env):
+    def quick():
+        yield env.timeout(1)
+
+    process = env.process(quick())
+    env.run()
+    with pytest.raises(RuntimeError):
+        process.interrupt()
+
+
+def test_interrupted_process_can_continue(env):
+    def resilient():
+        total = 0
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            pass
+        yield env.timeout(1)
+        return env.now
+
+    def interrupter(target):
+        yield env.timeout(2)
+        target.interrupt()
+
+    target = env.process(resilient())
+    env.process(interrupter(target))
+    assert env.run(until=target) == 3
+
+
+def test_is_alive_lifecycle(env):
+    def work():
+        yield env.timeout(1)
+
+    process = env.process(work())
+    assert process.is_alive
+    env.run()
+    assert not process.is_alive
+
+
+def test_waiting_on_already_processed_event(env):
+    done = env.timeout(1, value="early")
+    env.run()
+
+    def late_waiter():
+        value = yield done
+        return value
+
+    process = env.process(late_waiter())
+    assert env.run(until=process) == "early"
+
+
+def test_interrupt_detaches_from_target_event(env):
+    shared = env.event()
+
+    def sleeper():
+        try:
+            yield shared
+        except Interrupt:
+            return "interrupted"
+
+    def other_waiter():
+        value = yield shared
+        return value
+
+    target = env.process(sleeper())
+    other = env.process(other_waiter())
+
+    def interrupter():
+        yield env.timeout(1)
+        target.interrupt()
+        yield env.timeout(1)
+        shared.succeed("for the other")
+
+    env.process(interrupter())
+    assert env.run(until=target) == "interrupted"
+    assert env.run(until=other) == "for the other"
+
+
+def test_process_return_none_by_default(env, runner):
+    def work():
+        yield env.timeout(1)
+
+    assert runner(work()) is None

@@ -1,0 +1,288 @@
+"""Unit tests for resources, stores and tanks."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store, Tank
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grants_up_to_capacity(self, env):
+        resource = Resource(env, capacity=2)
+        first, second, third = (resource.request() for _ in range(3))
+        assert first.triggered and second.triggered
+        assert not third.triggered
+
+    def test_release_grants_next_waiter(self, env):
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        resource.release(first)
+        assert second.triggered
+
+    def test_with_block_releases(self, env, runner):
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def worker(name):
+            with resource.request() as request:
+                yield request
+                order.append((env.now, name))
+                yield env.timeout(1)
+
+        env.process(worker("a"))
+        done = env.process(worker("b"))
+        env.run(until=done)
+        assert order == [(0, "a"), (1, "b")]
+
+    def test_cancel_queued_request(self, env):
+        resource = Resource(env, capacity=1)
+        resource.request()
+        queued = resource.request()
+        queued.cancel()
+        assert queued not in resource.queue
+
+    def test_priority_order(self, env):
+        resource = Resource(env, capacity=1)
+        holder = resource.request()
+        low = resource.request(priority=5)
+        high = resource.request(priority=1)
+        resource.release(holder)
+        assert high.triggered
+        assert not low.triggered
+
+    def test_count_tracks_users(self, env):
+        resource = Resource(env, capacity=3)
+        requests = [resource.request() for _ in range(2)]
+        assert resource.count == 2
+        resource.release(requests[0])
+        assert resource.count == 1
+
+
+class TestStore:
+    def test_put_get_fifo(self, env, runner):
+        store = Store(env)
+
+        def flow():
+            yield store.put("first")
+            yield store.put("second")
+            a = yield store.get()
+            b = yield store.get()
+            return a, b
+
+        assert runner(flow()) == ("first", "second")
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        results = []
+
+        def consumer():
+            item = yield store.get()
+            results.append((env.now, item))
+
+        def producer():
+            yield env.timeout(3)
+            yield store.put("x")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert results == [(3, "x")]
+
+    def test_capacity_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        done = []
+
+        def producer():
+            yield store.put(1)
+            yield store.put(2)  # blocks until a get
+            done.append(env.now)
+
+        def consumer():
+            yield env.timeout(5)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert done == [5]
+
+    def test_filtered_get(self, env, runner):
+        store = Store(env)
+
+        def flow():
+            yield store.put(("b", 2))
+            yield store.put(("a", 1))
+            item = yield store.get(lambda i: i[0] == "a")
+            return item
+
+        assert runner(flow()) == ("a", 1)
+        assert list(store.items) == [("b", 2)]
+
+    def test_try_get_nonblocking(self, env):
+        store = Store(env)
+        assert store.try_get() is None
+        store.put("x")
+        assert store.try_get() == "x"
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_len(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestTank:
+    def test_initial_level(self, env):
+        tank = Tank(env, capacity=10, initial=4)
+        assert tank.level == 4
+
+    def test_put_blocks_at_capacity(self, env):
+        tank = Tank(env, capacity=10)
+        done = []
+
+        def filler():
+            yield tank.put(8)
+            yield tank.put(8)  # must wait for a get
+            done.append(env.now)
+
+        def drainer():
+            yield env.timeout(2)
+            yield tank.get(8)
+
+        env.process(filler())
+        env.process(drainer())
+        env.run()
+        assert done == [2]
+        assert tank.level == 8
+
+    def test_get_blocks_until_available(self, env):
+        tank = Tank(env, capacity=10)
+        got = []
+
+        def taker():
+            yield tank.get(5)
+            got.append(env.now)
+
+        def giver():
+            yield env.timeout(1)
+            yield tank.put(5)
+
+        env.process(taker())
+        env.process(giver())
+        env.run()
+        assert got == [1]
+
+    def test_invalid_arguments(self, env):
+        with pytest.raises(ValueError):
+            Tank(env, capacity=0)
+        with pytest.raises(ValueError):
+            Tank(env, capacity=5, initial=6)
+        tank = Tank(env, capacity=5)
+        with pytest.raises(ValueError):
+            tank.put(-1)
+        with pytest.raises(ValueError):
+            tank.get(-1)
+
+
+class TestInterruptAbandonsClaims:
+    """Regression: an interrupted waiter must not leave a claim behind
+    that would silently swallow the next item/slot (found via the live-
+    migration rebind path)."""
+
+    def test_interrupted_store_get_does_not_steal_items(self, env):
+        from repro.sim import Interrupt
+
+        store = Store(env)
+        received = []
+
+        def doomed():
+            try:
+                yield store.get()
+            except Interrupt:
+                return
+
+        def survivor():
+            item = yield store.get()
+            received.append(item)
+
+        victim = env.process(doomed())
+        env.process(survivor())
+
+        def driver():
+            yield env.timeout(1)
+            victim.interrupt()
+            yield env.timeout(1)
+            yield store.put("precious")
+
+        env.process(driver())
+        env.run()
+        assert received == ["precious"]
+
+    def test_interrupted_resource_request_leaves_queue(self, env):
+        from repro.sim import Interrupt
+
+        resource = Resource(env, capacity=1)
+        holder = resource.request()
+        order = []
+
+        def doomed():
+            try:
+                with resource.request() as req:
+                    yield req
+            except Interrupt:
+                order.append("interrupted")
+
+        def patient():
+            with resource.request() as req:
+                yield req
+                order.append("granted")
+
+        victim = env.process(doomed())
+        env.process(patient())
+
+        def driver():
+            yield env.timeout(1)
+            victim.interrupt()
+            yield env.timeout(1)
+            resource.release(holder)
+
+        env.process(driver())
+        env.run()
+        assert order == ["interrupted", "granted"]
+
+    def test_interrupted_tank_get_withdraws(self, env):
+        from repro.sim import Interrupt
+
+        tank = Tank(env, capacity=10)
+        got = []
+
+        def doomed():
+            try:
+                yield tank.get(5)
+            except Interrupt:
+                return
+
+        def survivor():
+            yield tank.get(5)
+            got.append(env.now)
+
+        victim = env.process(doomed())
+        env.process(survivor())
+
+        def driver():
+            yield env.timeout(1)
+            victim.interrupt()
+            yield env.timeout(1)
+            yield tank.put(5)
+
+        env.process(driver())
+        env.run()
+        assert got == [2]

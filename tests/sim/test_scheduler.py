@@ -1,0 +1,119 @@
+"""Unit tests for the environment / scheduler."""
+
+import pytest
+
+from repro.sim import EmptySchedule, Environment
+
+
+def test_clock_starts_at_initial_time():
+    env = Environment(initial_time=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_time_stops_clock(env):
+    env.timeout(5)
+    env.run(until=3)
+    assert env.now == 3
+
+
+def test_run_until_time_processes_earlier_events(env):
+    hits = []
+    t = env.timeout(1)
+    t.callbacks.append(lambda e: hits.append(env.now))
+    env.run(until=2)
+    assert hits == [1]
+
+
+def test_run_until_past_raises(env):
+    env.timeout(5)
+    env.run(until=3)
+    with pytest.raises(ValueError):
+        env.run(until=1)
+
+
+def test_run_drains_queue(env):
+    env.timeout(1)
+    env.timeout(2)
+    env.run()
+    assert env.now == 2
+    assert env.peek() == float("inf")
+
+
+def test_step_empty_raises(env):
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_peek_returns_next_event_time(env):
+    env.timeout(4)
+    env.timeout(2)
+    assert env.peek() == 2
+
+
+def test_events_at_same_time_fifo(env):
+    order = []
+    for name in "abc":
+        t = env.timeout(1)
+        t.callbacks.append(lambda e, n=name: order.append(n))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_event_returns_value(env):
+    def work():
+        yield env.timeout(2)
+        return "value"
+
+    process = env.process(work())
+    assert env.run(until=process) == "value"
+    assert env.now == 2
+
+
+def test_run_until_event_raises_its_exception(env):
+    def failing():
+        yield env.timeout(1)
+        raise KeyError("nope")
+
+    process = env.process(failing())
+    with pytest.raises(KeyError):
+        env.run(until=process)
+
+
+def test_run_until_already_processed_event(env):
+    t = env.timeout(1, value="done")
+    env.run()
+    assert env.run(until=t) == "done"
+
+
+def test_run_until_event_that_never_fires(env):
+    stuck = env.event()
+    env.timeout(1)
+    with pytest.raises(RuntimeError, match="ran out of events"):
+        env.run(until=stuck)
+
+
+def test_negative_schedule_delay_rejected(env):
+    event = env.event()
+    with pytest.raises(ValueError):
+        env.schedule(event, delay=-1)
+
+
+def test_simulation_continues_after_partial_run(env):
+    env.timeout(1)
+    env.timeout(5)
+    env.run(until=2)
+    env.run()
+    assert env.now == 5
+
+
+def test_active_process_tracked(env):
+    seen = []
+
+    def work():
+        seen.append(env.active_process)
+        yield env.timeout(1)
+
+    process = env.process(work())
+    env.run()
+    assert seen == [process]
+    assert env.active_process is None

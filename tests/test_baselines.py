@@ -1,0 +1,231 @@
+"""Tests for the baseline container-networking systems (S12)."""
+
+import pytest
+
+from repro.baselines import (
+    BridgeModeNetwork,
+    HostModeNetwork,
+    NetVmNetwork,
+    OverlayModeNetwork,
+    RawRdmaNetwork,
+    ShmIpcNetwork,
+)
+from repro.cluster import ContainerSpec
+from repro.cluster.container import Container
+from repro.errors import AddressError, TransportUnavailable
+from repro.hardware import Host, NO_RDMA_TESTBED, VirtualMachine, to_gbps
+from repro.sim import Environment
+
+
+@pytest.fixture
+def containers(host_pair):
+    h1, h2 = host_pair
+    a = Container(ContainerSpec("a"), h1)
+    b = Container(ContainerSpec("b"), h1)
+    c = Container(ContainerSpec("c"), h2)
+    return a, b, c
+
+
+def _roundtrip(env, channel, payload="x"):
+    def flow():
+        yield from channel.a.send(1000, payload=payload)
+        message = yield from channel.b.recv()
+        return message.payload
+
+    process = env.process(flow())
+    return env.run(until=process)
+
+
+class TestHostMode:
+    def test_connect_and_exchange(self, env, containers):
+        net = HostModeNetwork(env)
+        a, b, __ = containers
+        conn = net.connect(a, b, 5000, 5001)
+        assert _roundtrip(env, conn) == "x"
+
+    def test_port_space_is_shared_per_host(self, env, containers):
+        """The paper's complaint: one port 80 per host in host mode."""
+        net = HostModeNetwork(env)
+        a, b, __ = containers  # both on h1
+        net.bind(a, 80)
+        with pytest.raises(AddressError):
+            net.bind(b, 80)
+
+    def test_same_port_on_other_host_is_fine(self, env, containers):
+        net = HostModeNetwork(env)
+        a, __, c = containers
+        net.bind(a, 80)
+        net.bind(c, 80)  # different host, no conflict
+
+    def test_release_frees_port(self, env, containers):
+        net = HostModeNetwork(env)
+        a, b, __ = containers
+        net.bind(a, 80)
+        net.release(a, 80)
+        net.bind(b, 80)
+
+    def test_rebinding_same_owner_ok(self, env, containers):
+        net = HostModeNetwork(env)
+        a, __, __ = containers
+        net.bind(a, 80)
+        net.bind(a, 80)
+
+    def test_port_range_checked(self, env, containers):
+        net = HostModeNetwork(env)
+        with pytest.raises(AddressError):
+            net.bind(containers[0], 0)
+        with pytest.raises(AddressError):
+            net.bind(containers[0], 70000)
+
+
+class TestBridgeMode:
+    def test_connect_and_exchange(self, env, containers):
+        net = BridgeModeNetwork(env)
+        a, b, __ = containers
+        conn = net.connect(a, b)
+        assert _roundtrip(env, conn) == "x"
+
+    def test_one_bridge_per_host(self, env, containers):
+        net = BridgeModeNetwork(env)
+        a, b, c = containers
+        assert net.bridge_for(a.host) is net.bridge_for(b.host)
+        assert net.bridge_for(a.host) is not net.bridge_for(c.host)
+
+    def test_bridge_forwarding_accounted(self, env, containers):
+        net = BridgeModeNetwork(env)
+        a, b, __ = containers
+        conn = net.connect(a, b)
+        _roundtrip(env, conn)
+        assert net.bridge_for(a.host).messages_forwarded > 0
+
+
+class TestOverlayMode:
+    def test_attach_allocates_overlay_ip(self, env, containers):
+        net = OverlayModeNetwork(env)
+        a, __, __ = containers
+        ip = net.attach(a)
+        assert ip in net.pool
+        assert net.ip_of(a) == ip
+
+    def test_intra_host_exchange(self, env, containers):
+        net = OverlayModeNetwork(env)
+        a, b, __ = containers
+        conn = net.connect(a, b)
+        assert _roundtrip(env, conn) == "x"
+
+    def test_inter_host_exchange_via_two_routers(self, env, containers):
+        net = OverlayModeNetwork(env)
+        a, __, c = containers
+        conn = net.connect(a, c)
+        assert _roundtrip(env, conn) == "x"
+        assert net.router_for(a.host).messages_routed >= 1
+        assert net.router_for(c.host).messages_routed >= 1
+
+    def test_ip_survives_reattach(self, env, containers):
+        net = OverlayModeNetwork(env)
+        a, __, __ = containers
+        assert net.attach(a) == net.attach(a)
+
+
+class TestRawRdmaAndShmIpc:
+    def test_raw_rdma_needs_capable_nics(self, env, fabric):
+        plain = Host(env, "p1", spec=NO_RDMA_TESTBED, fabric=fabric)
+        other = Host(env, "p2", fabric=fabric)
+        a = Container(ContainerSpec("a"), plain)
+        b = Container(ContainerSpec("b"), other)
+        with pytest.raises(TransportUnavailable):
+            RawRdmaNetwork().connect(a, b)
+
+    def test_raw_rdma_exchange(self, env, containers):
+        a, __, c = containers
+        channel = RawRdmaNetwork().connect(a, c)
+        assert _roundtrip(env, channel) == "x"
+
+    def test_shm_ipc_requires_colocation(self, env, containers):
+        a, __, c = containers
+        with pytest.raises(TransportUnavailable):
+            ShmIpcNetwork().connect(a, c)
+
+    def test_shm_ipc_exchange(self, env, containers):
+        a, b, __ = containers
+        channel = ShmIpcNetwork().connect(a, b)
+        assert _roundtrip(env, channel) == "x"
+
+
+class TestNetVm:
+    def _vm_containers(self, env, host_pair):
+        h1, h2 = host_pair
+        vm1, vm2 = VirtualMachine(h1, "vm1"), VirtualMachine(h1, "vm2")
+        vm3 = VirtualMachine(h2, "vm3")
+        a = Container(ContainerSpec("a"), h1, vm1)
+        b = Container(ContainerSpec("b"), h1, vm2)
+        c = Container(ContainerSpec("c"), h2, vm3)
+        d = Container(ContainerSpec("d"), h1, vm1)
+        return a, b, c, d
+
+    def test_netvm_connects_colocated_vms(self, env, host_pair):
+        a, b, __, __ = self._vm_containers(env, host_pair)
+        channel = NetVmNetwork().connect(a, b)
+        assert _roundtrip(env, channel) == "x"
+
+    def test_netvm_rejects_cross_host(self, env, host_pair):
+        a, __, c, __ = self._vm_containers(env, host_pair)
+        with pytest.raises(TransportUnavailable):
+            NetVmNetwork().connect(a, c)
+
+    def test_netvm_rejects_same_vm(self, env, host_pair):
+        a, __, __, d = self._vm_containers(env, host_pair)
+        with pytest.raises(TransportUnavailable):
+            NetVmNetwork().connect(a, d)
+
+    def test_netvm_rejects_bare_metal(self, env, host_pair):
+        h1, __ = host_pair
+        bare = Container(ContainerSpec("bare"), h1)
+        vm_bound = self._vm_containers(env, host_pair)[0]
+        with pytest.raises(TransportUnavailable):
+            NetVmNetwork().connect(bare, vm_bound)
+
+
+class TestBaselineOrdering:
+    """The headline ordering of the paper's Fig. 1 and §2 figures."""
+
+    def _stream(self, env, channel, hosts, duration=0.08):
+        got = {"bytes": 0}
+
+        def sender():
+            while env.now < duration:
+                yield from channel.a.send(1 << 20)
+
+        def receiver():
+            while True:
+                message = yield from channel.b.recv()
+                got["bytes"] += message.size_bytes
+
+        env.process(sender())
+        env.process(receiver())
+        env.run(until=duration)
+        return to_gbps(got["bytes"] / duration)
+
+    def test_intra_host_ordering(self):
+        """shm > rdma > host > bridge > overlay, all intra-host."""
+        rates = {}
+        for name in ("shm", "rdma", "host", "bridge", "overlay"):
+            env = Environment()
+            h1 = Host(env, "h1")
+            a = Container(ContainerSpec("a"), h1)
+            b = Container(ContainerSpec("b"), h1)
+            if name == "shm":
+                channel = ShmIpcNetwork().connect(a, b)
+            elif name == "rdma":
+                channel = RawRdmaNetwork().connect(a, b)
+            elif name == "host":
+                channel = HostModeNetwork(env).connect(a, b, 1, 2)
+            elif name == "bridge":
+                channel = BridgeModeNetwork(env).connect(a, b)
+            else:
+                channel = OverlayModeNetwork(env).connect(a, b)
+            rates[name] = self._stream(env, channel, [h1])
+        assert (
+            rates["shm"] > rates["rdma"] > rates["host"]
+            > rates["bridge"] > rates["overlay"]
+        )

@@ -1,0 +1,125 @@
+"""Unit tests for the lane framework and the TCP fallback adapter."""
+
+import pytest
+
+from repro.errors import ChannelRebound
+from repro.hardware import Host, to_gbps
+from repro.sim import Environment
+from repro.transports import (
+    DuplexChannel,
+    Mechanism,
+    ShmLane,
+    TcpFallbackChannel,
+)
+
+
+class TestLaneFramework:
+    def test_duplex_requires_matching_mechanisms(self, env, host, host_pair):
+        from repro.transports import RdmaLane
+
+        h1, h2 = host_pair
+        with pytest.raises(ValueError):
+            DuplexChannel(ShmLane(h1), RdmaLane(h1, h2))
+
+    def test_stats_track_messages(self, env, host, runner):
+        lane = ShmLane(host)
+
+        def flow():
+            yield from lane.send(100)
+            yield from lane.send(200)
+            yield from lane.recv()
+            yield from lane.recv()
+
+        runner(flow())
+        assert lane.stats.messages_sent == 2
+        assert lane.stats.messages_delivered == 2
+        assert lane.stats.payload_bytes == 300
+        assert len(lane.stats.latencies) == 2
+
+    def test_on_deliver_hook_fires(self, env, host, runner):
+        lane = ShmLane(host)
+        seen = []
+        lane.on_deliver = lambda m: seen.append(m.size_bytes)
+
+        def flow():
+            yield from lane.send(123)
+            yield from lane.recv()
+
+        runner(flow())
+        assert seen == [123]
+
+    def test_eject_receivers_fails_pending_gets(self, env, host):
+        lane = ShmLane(host)
+        outcome = []
+
+        def receiver():
+            try:
+                yield from lane.recv()
+            except ChannelRebound:
+                outcome.append("ejected")
+
+        env.process(receiver())
+        env.run(until=0.001)
+        lane.eject_receivers(ChannelRebound("swap"))
+        env.run()
+        assert outcome == ["ejected"]
+
+    def test_mechanism_kernel_bypass_flags(self):
+        assert Mechanism.SHM.kernel_bypass
+        assert Mechanism.RDMA.kernel_bypass
+        assert Mechanism.DPDK.kernel_bypass
+        assert not Mechanism.TCP.kernel_bypass
+
+
+class TestTcpFallback:
+    def test_mechanism_is_tcp(self, env, host_pair):
+        h1, h2 = host_pair
+        channel = TcpFallbackChannel(h1, h2)
+        assert channel.mechanism is Mechanism.TCP
+
+    def test_roundtrip_both_directions(self, env, host_pair, runner):
+        h1, h2 = host_pair
+        channel = TcpFallbackChannel(h1, h2)
+
+        def flow():
+            yield from channel.a.send(1000, payload="fwd")
+            fwd = yield from channel.b.recv()
+            yield from channel.b.send(1000, payload="rev")
+            rev = yield from channel.a.recv()
+            return fwd.payload, rev.payload
+
+        assert runner(flow()) == ("fwd", "rev")
+
+    def test_throughput_matches_host_mode(self, env, host_pair):
+        h1, h2 = host_pair
+        channel = TcpFallbackChannel(h1, h2)
+        got = {"bytes": 0}
+        duration = 0.02
+
+        def sender():
+            while env.now < duration:
+                yield from channel.a.send(1 << 20)
+
+        def receiver():
+            while True:
+                message = yield from channel.b.recv()
+                got["bytes"] += message.size_bytes
+
+        env.process(sender())
+        env.process(receiver())
+        env.run(until=duration)
+        assert to_gbps(got["bytes"] / duration) == pytest.approx(38, rel=0.08)
+
+    def test_lane_stats_accumulate(self, env, host_pair, runner):
+        h1, h2 = host_pair
+        channel = TcpFallbackChannel(h1, h2)
+
+        def flow():
+            yield from channel.a.send(500)
+            yield from channel.b.recv()
+
+        runner(flow())
+        assert channel.a.send_stats.messages_sent == 1
+        # a's outgoing lane is b's incoming lane: same stats object.
+        assert channel.a.send_stats is channel.b.recv_stats
+        assert channel.b.recv_stats.messages_delivered == 1

@@ -1,0 +1,152 @@
+"""Unit + behaviour tests for the RDMA transport."""
+
+import pytest
+
+from repro.errors import TransportUnavailable
+from repro.hardware import Host, NO_RDMA_TESTBED, to_gbps
+from repro.sim import Environment
+from repro.transports import Mechanism, RdmaChannel, RdmaLane
+
+
+def _stream(env, channel, duration=0.02, msg=1 << 20):
+    got = {"bytes": 0}
+
+    def sender():
+        while env.now < duration:
+            yield from channel.a.send(msg)
+
+    def receiver():
+        while True:
+            message = yield from channel.b.recv()
+            got["bytes"] += message.size_bytes
+
+    env.process(sender())
+    env.process(receiver())
+    env.run(until=duration)
+    return to_gbps(got["bytes"] / duration)
+
+
+def test_requires_rdma_nics(env, fabric):
+    plain = Host(env, "h1", spec=NO_RDMA_TESTBED, fabric=fabric)
+    capable = Host(env, "h2", fabric=fabric)
+    with pytest.raises(TransportUnavailable):
+        RdmaLane(plain, capable)
+    with pytest.raises(TransportUnavailable):
+        RdmaLane(capable, plain)
+
+
+def test_roundtrip_and_mechanism(env, host_pair, runner):
+    h1, h2 = host_pair
+    channel = RdmaChannel(h1, h2)
+    assert channel.mechanism is Mechanism.RDMA
+
+    def flow():
+        yield from channel.a.send(8192, payload="data")
+        message = yield from channel.b.recv()
+        return message
+
+    message = runner(flow())
+    assert message.payload == "data"
+
+
+def test_in_order_delivery(env, host_pair):
+    h1, h2 = host_pair
+    channel = RdmaChannel(h1, h2)
+    received = []
+
+    def sender():
+        for i in range(25):
+            yield from channel.a.send(100_000, payload=i)
+
+    def receiver():
+        for _ in range(25):
+            message = yield from channel.b.recv()
+            received.append(message.payload)
+
+    env.process(sender())
+    done = env.process(receiver())
+    env.run(until=done)
+    assert received == list(range(25))
+
+
+def test_interhost_throughput_is_link_bound(env, host_pair):
+    h1, h2 = host_pair
+    rate = _stream(env, RdmaChannel(h1, h2))
+    # 40 Gb/s link at 97 % goodput ≈ 38.8; paper reports "40 Gb/s".
+    assert rate == pytest.approx(38.8, rel=0.07)
+
+
+def test_intrahost_loopback_also_link_bound(env, host):
+    """Paper §2.3.1: intra-host RDMA is still capped at 40 Gb/s —
+    the reason FreeFlow prefers shared memory for co-located pairs."""
+    rate = _stream(env, RdmaChannel(host, host))
+    assert rate == pytest.approx(38.8, rel=0.1)
+
+
+def test_cpu_usage_is_near_zero(env, host_pair):
+    h1, h2 = host_pair
+    _stream(env, RdmaChannel(h1, h2))
+    total = h1.cpu.utilisation_percent() + h2.cpu.utilisation_percent()
+    assert total < 10  # paper: "a low cpu usage"
+
+
+def test_nic_engine_busy_during_stream(env, host_pair):
+    h1, h2 = host_pair
+    _stream(env, RdmaChannel(h1, h2), msg=4096)
+    assert h1.nic.engine_utilisation() > 0
+
+
+def test_window_backpressure(env, host_pair):
+    h1, h2 = host_pair
+    lane = RdmaLane(h1, h2, window_bytes=1 << 20)
+    admitted = []
+
+    def sender():
+        for i in range(4):
+            yield from lane.send(1 << 20)
+            admitted.append(i)
+
+    env.process(sender())
+    env.run(until=1e-5)
+    # With a 1 MB window only one message can sit unacknowledged.
+    assert len(admitted) <= 2
+
+
+def test_closed_lane_rejects_send(env, host_pair):
+    h1, h2 = host_pair
+    lane = RdmaLane(h1, h2)
+    lane.close()
+
+    def flow():
+        yield from lane.send(10)
+
+    process = env.process(flow())
+    with pytest.raises(TransportUnavailable):
+        env.run(until=process)
+
+
+def test_unattached_host_fails_loudly(env):
+    h1 = Host(env, "h1")  # no fabric
+    h2 = Host(env, "h2")
+    lane = RdmaLane(h1, h2)
+
+    def flow():
+        yield from lane.send(10)
+
+    env.process(flow())
+    with pytest.raises(TransportUnavailable):
+        env.run()
+
+
+def test_small_message_latency_microseconds(env, host_pair, runner):
+    h1, h2 = host_pair
+    channel = RdmaChannel(h1, h2)
+
+    def flow():
+        started = env.now
+        yield from channel.a.send(4096)
+        yield from channel.b.recv()
+        return env.now - started
+
+    latency = runner(flow())
+    assert latency < 10e-6

@@ -1,0 +1,152 @@
+"""Unit + behaviour tests for the shared-memory channel."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.hardware import Host, ShmSpec, to_gbps
+from repro.sim import Environment
+from repro.transports import Mechanism, ShmChannel, ShmLane
+
+
+def test_mechanism_and_roundtrip(env, host, runner):
+    channel = ShmChannel(host)
+    assert channel.mechanism is Mechanism.SHM
+
+    def flow():
+        yield from channel.a.send(4096, payload={"k": 1})
+        message = yield from channel.b.recv()
+        return message
+
+    message = runner(flow())
+    assert message.payload == {"k": 1}
+    assert message.latency > 0
+
+
+def test_in_order_delivery(env, host):
+    channel = ShmChannel(host)
+    received = []
+
+    def sender():
+        for i in range(30):
+            yield from channel.a.send(10_000, payload=i)
+
+    def receiver():
+        for _ in range(30):
+            message = yield from channel.b.recv()
+            received.append(message.payload)
+
+    env.process(sender())
+    done = env.process(receiver())
+    env.run(until=done)
+    assert received == list(range(30))
+
+
+def test_oversized_message_rejected(env, host):
+    lane = ShmLane(host, ShmSpec(ring_bytes=1024))
+
+    def flow():
+        yield from lane.send(4096)
+
+    process = env.process(flow())
+    with pytest.raises(TransportError):
+        env.run(until=process)
+
+
+def test_ring_backpressure_blocks_sender(env, host):
+    lane = ShmLane(host, ShmSpec(ring_bytes=1000))
+    progress = []
+
+    def sender():
+        yield from lane.send(600)
+        progress.append("first")
+        yield from lane.send(600)  # must wait for the consumer
+        progress.append("second")
+
+    def consumer():
+        yield env.timeout(0.01)
+        yield from lane.recv()
+
+    env.process(sender())
+    env.process(consumer())
+    env.run(until=0.005)
+    assert progress == ["first"]
+    env.run()
+    assert progress == ["first", "second"]
+
+
+def test_closed_lane_rejects_send(env, host):
+    lane = ShmLane(host)
+    lane.close()
+
+    def flow():
+        yield from lane.send(10)
+
+    process = env.process(flow())
+    with pytest.raises(TransportError):
+        env.run(until=process)
+
+
+def test_ring_memory_accounted_on_host(env, host):
+    before = host.memory.allocated_bytes
+    lane = ShmLane(host)
+    assert host.memory.allocated_bytes == before + lane.spec.ring_bytes
+    lane.close()
+    assert host.memory.allocated_bytes == before
+
+
+def test_throughput_near_memcpy_rate(env, host):
+    """Single pair ≈ single-core memcpy rate (paper: near memory bw)."""
+    channel = ShmChannel(host)
+    got = {"bytes": 0}
+    duration = 0.02
+
+    def sender():
+        while env.now < duration:
+            yield from channel.a.send(1 << 20)
+
+    def receiver():
+        while True:
+            message = yield from channel.b.recv()
+            got["bytes"] += message.size_bytes
+
+    env.process(sender())
+    env.process(receiver())
+    env.run(until=duration)
+    rate = to_gbps(got["bytes"] / duration)
+    # Core copy rate: 2.4 GHz / 0.25 c/B = 9.6 GB/s = 76.8 Gb/s.
+    assert rate == pytest.approx(76.8, rel=0.1)
+    # "still burns some cpu": about one core.
+    assert host.cpu.utilisation_percent() == pytest.approx(100, rel=0.15)
+
+
+def test_copying_receiver_doubles_cpu(env, host):
+    """zero_copy_receive=False adds a receive-side memcpy."""
+    spec = ShmSpec(zero_copy_receive=False)
+    channel = ShmChannel(host, spec)
+    duration = 0.01
+
+    def sender():
+        while env.now < duration:
+            yield from channel.a.send(1 << 20)
+
+    def receiver():
+        while True:
+            yield from channel.b.recv()
+
+    env.process(sender())
+    env.process(receiver())
+    env.run(until=duration)
+    assert host.cpu.utilisation_percent() > 150
+
+
+def test_latency_is_microsecond_scale(env, host, runner):
+    channel = ShmChannel(host)
+
+    def flow():
+        started = env.now
+        yield from channel.a.send(4096)
+        yield from channel.b.recv()
+        return env.now - started
+
+    latency = runner(flow())
+    assert latency < 5e-6
