@@ -45,6 +45,9 @@ class StreamResult:
     membus_util: dict[str, float] = field(default_factory=dict)
     #: Bytes delivered per endpoint pair within the measurement window.
     per_pair_bytes: list = field(default_factory=list)
+    #: Engine events processed during the measurement window — the cost of
+    #: simulating this workload, for perf tracking (see bench_engine.py).
+    engine_events: int = 0
 
     @property
     def total_cpu_percent(self) -> float:
@@ -152,8 +155,10 @@ def run_stream(
             host.reset_accounting()
         counting["on"] = True
     measure_start = env.now
+    events_before = env.events_processed
     env.run(until=stop_at)
     elapsed = env.now - measure_start
+    engine_events = env.events_processed - events_before
     cpu, engine, link, membus = _snapshot(hosts)
     # Tear the workload down so the endpoints are reusable: stop the
     # senders, let the receivers drain everything still in flight, then
@@ -185,6 +190,7 @@ def run_stream(
         link_util=link,
         membus_util=membus,
         per_pair_bytes=per_pair,
+        engine_events=engine_events,
     )
 
 

@@ -18,7 +18,7 @@ __all__ = ["EndpointAddr", "Message", "segment_count"]
 _message_ids = itertools.count(1)
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class EndpointAddr:
     """An overlay endpoint: IP address string plus port."""
 
@@ -29,9 +29,13 @@ class EndpointAddr:
         return f"{self.ip}:{self.port}"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """One application-level message traversing a data plane."""
+    """One application-level message traversing a data plane.
+
+    ``slots=True``: a streaming run materialises one instance per
+    message, so the dict-free layout is worth having.
+    """
 
     size_bytes: int
     src: Optional[EndpointAddr] = None

@@ -23,10 +23,10 @@ Three modes mirror the paper's taxonomy:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from ..errors import TransportError
+from ..sim.monitor import StreamingSeries
 from ..sim.resources import Store, Tank
 from .bridge import SoftwareBridge
 from .overlay import OverlayRouter
@@ -46,14 +46,16 @@ class TcpMode(enum.Enum):
     OVERLAY = "overlay"
 
 
-@dataclass
 class TcpStats:
-    """Per-direction delivery counters."""
+    """Per-direction delivery counters (latencies kept in O(1) memory)."""
 
-    messages: int = 0
-    messages_sent: int = 0
-    payload_bytes: int = 0
-    latencies: list = field(default_factory=list)
+    __slots__ = ("messages", "messages_sent", "payload_bytes", "latencies")
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.messages_sent = 0
+        self.payload_bytes = 0
+        self.latencies = StreamingSeries()
 
     @property
     def messages_delivered(self) -> int:

@@ -6,10 +6,26 @@ virtual-time order.  See DESIGN.md §3.
 """
 
 from .events import AllOf, AnyOf, Condition, Event, EventAlreadyTriggered, Timeout
-from .monitor import IntervalRecorder, Series, ThroughputTimeline, TimeWeighted
+from .monitor import (
+    IntervalRecorder,
+    Series,
+    StreamingSeries,
+    ThroughputTimeline,
+    TimeWeighted,
+)
 from .process import Interrupt, Process, ProcessGen
 from .rand import RandomStream, StreamFactory
-from .resources import Release, Request, Resource, Store, StoreGet, StorePut, Tank
+from .resources import (
+    Release,
+    Request,
+    Resource,
+    Store,
+    StoreGet,
+    StorePut,
+    Tank,
+    TankGet,
+    TankPut,
+)
 from .scheduler import EmptySchedule, Environment
 
 __all__ = [
@@ -33,7 +49,10 @@ __all__ = [
     "StoreGet",
     "StorePut",
     "StreamFactory",
+    "StreamingSeries",
     "Tank",
+    "TankGet",
+    "TankPut",
     "ThroughputTimeline",
     "TimeWeighted",
     "Timeout",

@@ -15,10 +15,24 @@ An :class:`Event` moves through three stages:
 Composite conditions (:class:`AllOf` / :class:`AnyOf`) let a process wait for
 several events at once, which the transports use to model concurrent DMA,
 CPU work and link transmission.
+
+Performance notes: every hot class uses ``__slots__`` (an engine run
+allocates millions of events, and ``__dict__``-free instances are both
+smaller and faster to create), and the callback list is built lazily — the
+overwhelmingly common case is *one* waiter (a process parked on a yield),
+which is stored as a bare callable with no list allocation at all.  The
+internal representation of :attr:`Event._callbacks` is therefore one of:
+
+* ``NO_CALLBACKS`` — nothing registered yet (pending or triggered);
+* a single callable — exactly one waiter (the fast path);
+* a ``list`` — two or more waiters, or external code used the
+  :attr:`Event.callbacks` property (which materialises a real list);
+* ``None`` — the event has been processed.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -26,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 
 __all__ = [
     "PENDING",
+    "NO_CALLBACKS",
     "Event",
     "Timeout",
     "Condition",
@@ -38,12 +53,28 @@ __all__ = [
 class _Pending:
     """Sentinel for "this event has no value yet"."""
 
+    __slots__ = ()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "<PENDING>"
 
 
 #: Sentinel stored in :attr:`Event._value` until the event triggers.
 PENDING = _Pending()
+
+
+class _NoCallbacks:
+    """Sentinel: no callbacks registered yet (distinct from processed)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<NO_CALLBACKS>"
+
+
+#: Initial value of :attr:`Event._callbacks`; avoids a list allocation for
+#: events nobody ever waits on (and defers it for single-waiter events).
+NO_CALLBACKS = _NoCallbacks()
 
 
 class EventAlreadyTriggered(RuntimeError):
@@ -58,15 +89,47 @@ class Event:
     ``yield`` expression, or have the exception thrown into them.
     """
 
+    __slots__ = ("env", "_callbacks", "_value", "_ok", "defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._callbacks: Any = NO_CALLBACKS
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
         #: Set True to acknowledge a failure nobody waits on; otherwise the
         #: environment re-raises unhandled failures (errors never pass
         #: silently).
         self.defused: bool = False
+
+    @property
+    def callbacks(self) -> Optional[list]:
+        """Callables run when the event is processed (None afterwards).
+
+        Accessing this property materialises the internal compact
+        representation into a real, mutable list, so external code can
+        keep using ``event.callbacks.append(fn)`` / ``.remove(fn)``.
+        Engine-internal hot paths use :meth:`_add_callback` instead.
+        """
+        cbs = self._callbacks
+        if cbs is None:
+            return None
+        if cbs is NO_CALLBACKS:
+            cbs = self._callbacks = []
+        elif type(cbs) is not list:
+            cbs = self._callbacks = [cbs]
+        return cbs
+
+    def _add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` without allocating a list for the 1-waiter case."""
+        cbs = self._callbacks
+        if cbs is NO_CALLBACKS:
+            self._callbacks = fn
+        elif type(cbs) is list:
+            cbs.append(fn)
+        elif cbs is None:
+            raise RuntimeError(f"{self!r} already processed")
+        else:
+            self._callbacks = [cbs, fn]
 
     @property
     def triggered(self) -> bool:
@@ -76,7 +139,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once the environment has run this event's callbacks."""
-        return self.callbacks is None
+        return self._callbacks is None
 
     @property
     def ok(self) -> bool:
@@ -98,7 +161,11 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Inlined env.schedule(self): an immediate NORMAL-priority event
+        # goes straight onto the ready deque (succeed is the hottest
+        # trigger path in the engine — every handoff and resume ends here).
+        env = self.env
+        env._ready.append((env._now, 1, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -117,11 +184,16 @@ class Event:
         self.env.schedule(self)
         return self
 
-    def _mark_processed(self) -> list[Callable[["Event"], None]]:
+    def _mark_processed(self) -> list:
         """Detach and return callbacks; the event is now *processed*."""
-        callbacks, self.callbacks = self.callbacks, None
-        assert callbacks is not None
-        return callbacks
+        cbs = self._callbacks
+        assert cbs is not None
+        self._callbacks = None
+        if cbs is NO_CALLBACKS:
+            return []
+        if type(cbs) is list:
+            return cbs
+        return [cbs]
 
     def _abandon(self) -> None:
         """Withdraw any pending claim this event represents.
@@ -149,14 +221,33 @@ class Timeout(Event):
     created; it cannot fail and cannot be re-triggered.
     """
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self._delay = delay
+        # Inlined Event.__init__ + trigger: timeouts are born triggered, so
+        # writing the final state once keeps the hottest allocation path in
+        # the engine down to a single pass over the slots.
+        self.env = env
+        self._callbacks = NO_CALLBACKS
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        self.defused = False
+        self._delay = delay
+        # Inlined env.schedule(self, delay=delay): zero-delay timeouts ride
+        # the ready deque; delayed ones take the monotone tail deque when
+        # their key extends it (the fixed-latency re-arm pattern), and only
+        # out-of-order inserts pay the heap.
+        if delay == 0.0:
+            env._ready.append((env._now, 1, next(env._eid), self))
+        else:
+            entry = (env._now + delay, 1, next(env._eid), self)
+            tail = env._tail
+            if not tail or entry >= tail[-1]:
+                tail.append(entry)
+            else:
+                heappush(env._queue, entry)
 
     @property
     def delay(self) -> float:
@@ -180,6 +271,8 @@ class Condition(Event):
 
     A failing child event fails the whole condition immediately.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count", "_results")
 
     def __init__(
         self,
@@ -206,8 +299,7 @@ class Condition(Event):
             if event.processed:
                 self._check(event)
             else:
-                assert event.callbacks is not None
-                event.callbacks.append(self._check)
+                event._add_callback(self._check)
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -235,12 +327,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that triggers when *all* child events have succeeded."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Condition that triggers when *any* child event has succeeded."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)

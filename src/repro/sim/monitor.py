@@ -8,19 +8,31 @@ Two instruments cover everything the paper's evaluation needs:
 * :class:`Series` — a plain sample collector with count/mean/percentiles.
   Used for latency distributions.
 
-Both are deliberately dependency-free (no numpy) so the core library stays
+For unbounded streams (per-lane delivery latencies over millions of
+messages) :class:`StreamingSeries` keeps the same statistical interface in
+O(1) memory: exact count/sum/min/max plus a fixed-size uniform reservoir
+(Vitter's Algorithm R) for percentile estimates.
+
+All are deliberately dependency-free (no numpy) so the core library stays
 pure; benchmarks may post-process with numpy.
 """
 
 from __future__ import annotations
 
 import math
+import random
 from typing import TYPE_CHECKING, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from .scheduler import Environment
 
-__all__ = ["TimeWeighted", "Series", "IntervalRecorder", "ThroughputTimeline"]
+__all__ = [
+    "TimeWeighted",
+    "Series",
+    "StreamingSeries",
+    "IntervalRecorder",
+    "ThroughputTimeline",
+]
 
 
 class TimeWeighted:
@@ -158,6 +170,137 @@ class Series:
             "p50": self.percentile(50),
             "p99": self.percentile(99),
             "max": self.maximum(),
+        }
+
+
+class StreamingSeries:
+    """Bounded-memory sample stream: exact moments, sampled percentiles.
+
+    Count, sum, min and max are exact for the whole stream; percentiles
+    are computed over a fixed-size uniform random sample maintained with
+    Vitter's Algorithm R, so memory stays O(``reservoir``) no matter how
+    many samples arrive.  The replacement RNG is seeded per instance, so
+    two identical runs sample identically (simulation determinism).
+
+    Drop-in for the common :class:`Series` surface: ``len()`` reports the
+    *total* stream count, and ``append`` aliases ``add`` for callers that
+    treat the collector as a list.
+    """
+
+    __slots__ = (
+        "_count", "_total", "_min", "_max",
+        "_capacity", "_reservoir", "_rng", "_sorted",
+    )
+
+    #: Default reservoir size: percentile error ~1/sqrt(1024) ≈ 3%.
+    DEFAULT_RESERVOIR = 1024
+
+    def __init__(self, reservoir: int = DEFAULT_RESERVOIR, seed: int = 0x5EED) -> None:
+        if reservoir <= 0:
+            raise ValueError(f"reservoir size must be positive, got {reservoir}")
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._capacity = reservoir
+        self._reservoir: list[float] = []
+        self._rng = random.Random(seed)
+        self._sorted: Optional[list[float]] = None
+
+    def __len__(self) -> int:
+        """Total samples seen (not the reservoir size)."""
+        return self._count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def add(self, sample: float) -> None:
+        sample = float(sample)
+        self._count += 1
+        self._total += sample
+        if sample < self._min:
+            self._min = sample
+        if sample > self._max:
+            self._max = sample
+        reservoir = self._reservoir
+        if len(reservoir) < self._capacity:
+            reservoir.append(sample)
+        else:
+            # Algorithm R: keep each of the n samples with equal
+            # probability k/n by replacing a random slot.
+            j = self._rng.randrange(self._count)
+            if j < self._capacity:
+                reservoir[j] = sample
+            else:
+                return  # reservoir unchanged; keep the sorted cache
+        self._sorted = None
+
+    #: List-style alias so ``stats.latencies.append(x)`` keeps working.
+    append = add
+
+    def extend(self, samples: Iterable[float]) -> None:
+        for sample in samples:
+            self.add(sample)
+
+    @property
+    def samples(self) -> list[float]:
+        """The current reservoir contents (a uniform sample, unordered)."""
+        return list(self._reservoir)
+
+    def mean(self) -> float:
+        if not self._count:
+            raise ValueError("no samples recorded")
+        return self._total / self._count
+
+    def total(self) -> float:
+        return self._total
+
+    def minimum(self) -> float:
+        if not self._count:
+            raise ValueError("no samples recorded")
+        return self._min
+
+    def maximum(self) -> float:
+        if not self._count:
+            raise ValueError("no samples recorded")
+        return self._max
+
+    def percentile(self, p: float) -> float:
+        """Estimated percentile from the reservoir (exact at 0/100)."""
+        if not self._count:
+            raise ValueError("no samples recorded")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        if p == 0:
+            return self._min
+        if p == 100:
+            return self._max
+        if self._sorted is None:
+            self._sorted = sorted(self._reservoir)
+        data = self._sorted
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100) * (len(data) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return data[low]
+        frac = rank - low
+        return data[low] + frac * (data[high] - data[low])
+
+    def median(self) -> float:
+        return self.percentile(50)
+
+    def summary(self) -> dict[str, float]:
+        """A dict of the headline statistics (handy for bench output)."""
+        return {
+            "count": float(self._count),
+            "mean": self.mean(),
+            "min": self._min,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self._max,
         }
 
 

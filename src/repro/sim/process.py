@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from .events import Event, PENDING
+from .events import Event, NO_CALLBACKS, PENDING
 
 if TYPE_CHECKING:  # pragma: no cover
     from .scheduler import Environment
@@ -44,17 +44,25 @@ class Interrupt(Exception):
 class _Initialize(Event):
     """Internal event that kicks off a newly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
+        self.env = env
         self._ok = True
         self._value = None
-        assert self.callbacks is not None
-        self.callbacks.append(process._resume)
+        self.defused = False
+        self._callbacks = process._resume
         env.schedule(self)
 
 
 class Process(Event):
     """A running simulation process (also an event: triggers on return)."""
+
+    #: ``_resume`` holds the bound ``_step`` method, cached once at start:
+    #: registering a callback on every yield would otherwise allocate a
+    #: fresh bound-method object per event — pure churn on the hot path
+    #: (and caching it makes interrupt's identity-based detach exact).
+    __slots__ = ("_generator", "_target", "_resume")
 
     def __init__(self, env: "Environment", generator: ProcessGen) -> None:
         if not hasattr(generator, "throw"):
@@ -64,6 +72,7 @@ class Process(Event):
         #: The event this process is currently waiting on (None if running
         #: or finished).  Used by interrupt() to detach cleanly.
         self._target: Optional[Event] = None
+        self._resume = self._step
         _Initialize(env, self)
 
     @property
@@ -85,19 +94,23 @@ class Process(Event):
         """
         if not self.is_alive:
             raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:  # pragma: no cover - already detached
-                pass
-            if not self._target.triggered:
+        target = self._target
+        if target is not None:
+            cbs = target._callbacks
+            if cbs is self._resume:
+                target._callbacks = NO_CALLBACKS
+            elif type(cbs) is list:
+                try:
+                    cbs.remove(self._resume)
+                except ValueError:  # pragma: no cover - already detached
+                    pass
+            if cbs is not None and not target.triggered:
                 # Withdraw pending claims (store gets, resource requests)
                 # so they cannot consume items nobody will receive.
-                self._target._abandon()
+                target._abandon()
         self._target = None
         interrupt_event = Event(self.env)
-        assert interrupt_event.callbacks is not None
-        interrupt_event.callbacks.append(self._resume_interrupt)
+        interrupt_event._callbacks = self._resume_interrupt
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         self.env.schedule(interrupt_event, priority=0)
@@ -110,13 +123,11 @@ class Process(Event):
         if self.is_alive:
             self._step(event)
 
-    def _resume(self, event: Event) -> None:
-        self._step(event)
-
     def _step(self, event: Event) -> None:
         """Advance the generator by one yield using ``event``'s outcome."""
         self._target = None
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
             if event._ok:
                 result = self._generator.send(event._value)
@@ -127,34 +138,39 @@ class Process(Event):
                 event.defused = True
                 result = self._generator.throw(event._value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self._ok = True
             self._value = stop.value
-            self.env.schedule(self)
+            env.schedule(self)
             return
         except BaseException as exc:
-            self.env._active_process = None
+            env._active_process = None
             self._ok = False
             self._value = exc
-            self.env.schedule(self)
+            env.schedule(self)
             return
-        self.env._active_process = None
+        env._active_process = None
 
         if not isinstance(result, Event):
             raise TypeError(
                 f"process {self._generator!r} yielded {result!r}, not an Event"
             )
-        if result.callbacks is None:
+        cbs = result._callbacks
+        if cbs is NO_CALLBACKS:
+            # Inlined _add_callback: a fresh event with us as the only
+            # waiter — the common case for every yield in the simulation.
+            result._callbacks = self._resume
+            self._target = result
+        elif cbs is None:
             # Already processed: resume immediately at the current time.
-            immediate = Event(self.env)
-            assert immediate.callbacks is not None
-            immediate.callbacks.append(self._resume)
+            immediate = Event(env)
+            immediate._callbacks = self._resume
             immediate._ok = result._ok
             immediate._value = result._value
-            self.env.schedule(immediate)
+            env.schedule(immediate)
             self._target = immediate
         else:
-            result.callbacks.append(self._resume)
+            result._add_callback(self._resume)
             self._target = result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

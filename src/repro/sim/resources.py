@@ -17,6 +17,15 @@ Requests are events, so processes write::
 
 The ``with`` form guarantees release even if the process is interrupted —
 important for migration and failure-injection experiments.
+
+Performance notes: ``Store`` and ``Tank`` operations that can complete
+immediately (a ``get`` against a non-empty buffer with no queued waiters,
+a ``put`` into free space) take a *fast path*: the event is triggered on
+the spot without touching the wait queues or re-running the matching loop.
+Queued waiters always win over a newcomer — the fast path is only taken
+when the relevant wait queue is empty, so FIFO ordering and the
+no-starvation property are preserved exactly (see
+``tests/sim/test_resources.py::TestStoreFastPath``).
 """
 
 from __future__ import annotations
@@ -29,7 +38,17 @@ from .events import Event
 if TYPE_CHECKING:  # pragma: no cover
     from .scheduler import Environment
 
-__all__ = ["Resource", "Request", "Release", "Store", "StorePut", "StoreGet", "Tank"]
+__all__ = [
+    "Resource",
+    "Request",
+    "Release",
+    "Store",
+    "StorePut",
+    "StoreGet",
+    "Tank",
+    "TankPut",
+    "TankGet",
+]
 
 
 class Request(Event):
@@ -38,6 +57,8 @@ class Request(Event):
     Usable as a context manager: exiting the ``with`` block releases the
     slot (or cancels the claim if it never triggered).
     """
+
+    __slots__ = ("resource", "priority")
 
     def __init__(self, resource: "Resource", priority: int = 0) -> None:
         super().__init__(resource.env)
@@ -62,6 +83,8 @@ class Request(Event):
 class Release(Event):
     """Event that triggers once a request's slot has been released."""
 
+    __slots__ = ("request",)
+
     def __init__(self, resource: "Resource", request: Request) -> None:
         super().__init__(resource.env)
         self.request = request
@@ -76,6 +99,8 @@ class Resource:
     priorities keep FIFO order.  The plain ``request()`` uses priority 0,
     so a pure-FIFO resource just never passes the argument.
     """
+
+    __slots__ = ("env", "_capacity", "users", "queue", "on_change")
 
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity <= 0:
@@ -132,10 +157,21 @@ class Resource:
 class StorePut(Event):
     """Pending put into a :class:`Store` (waits if the store is full)."""
 
+    __slots__ = ("store", "item")
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
         self.store = store
         self.item = item
+        if not store._put_queue and len(store.items) < store.capacity:
+            # Fast path: free space and nobody queued ahead — accept the
+            # item on the spot.  Triggering before waking any parked gets
+            # keeps the event order identical to the queued path.
+            self.succeed()
+            store.items.append(item)
+            if store._get_queue:
+                store._trigger()
+            return
         store._put_queue.append(self)
         store._trigger()
 
@@ -149,10 +185,30 @@ class StorePut(Event):
 class StoreGet(Event):
     """Pending get from a :class:`Store` (waits if the store is empty)."""
 
+    __slots__ = ("store", "predicate")
+
     def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]]) -> None:
         super().__init__(store.env)
         self.store = store
         self.predicate = predicate
+        if not store._get_queue and store.items:
+            # Fast path: an immediate handoff from the buffer, bypassing
+            # the wait queue entirely.  Only taken when no getter is
+            # queued ahead of us, so FIFO order among getters holds.
+            if predicate is None:
+                self.succeed(store.items.popleft())
+            else:
+                match = store._find(predicate)
+                if match is None:
+                    store._get_queue.append(self)
+                    return
+                index, item = match
+                del store.items[index]
+                self.succeed(item)
+            if store._put_queue:
+                # Our take freed a slot: admit the oldest blocked put.
+                store._trigger()
+            return
         store._get_queue.append(self)
         store._trigger()
 
@@ -170,6 +226,8 @@ class Store:
     which the verbs layer uses to match completions to a specific queue
     pair without draining unrelated completions.
     """
+
+    __slots__ = ("env", "capacity", "items", "_put_queue", "_get_queue")
 
     def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
         if capacity <= 0:
@@ -196,7 +254,8 @@ class Store:
         if not self.items:
             return None
         item = self.items.popleft()
-        self._trigger()
+        if self._put_queue or self._get_queue:
+            self._trigger()
         return item
 
     # -- internals --------------------------------------------------------
@@ -212,15 +271,16 @@ class Store:
                 put.succeed()
                 progressed = True
             # Satisfy gets that have a matching item.
-            for get in list(self._get_queue):
-                match = self._find(get.predicate)
-                if match is None:
-                    continue
-                index, item = match
-                del self.items[index]
-                self._get_queue.remove(get)
-                get.succeed(item)
-                progressed = True
+            if self._get_queue and self.items:
+                for get in tuple(self._get_queue):
+                    match = self._find(get.predicate)
+                    if match is None:
+                        continue
+                    index, item = match
+                    del self.items[index]
+                    self._get_queue.remove(get)
+                    get.succeed(item)
+                    progressed = True
 
     def _find(self, predicate: Optional[Callable[[Any], bool]]):
         for index, item in enumerate(self.items):
@@ -229,12 +289,48 @@ class Store:
         return None
 
 
+class TankPut(Event):
+    """Pending put of ``amount`` into a :class:`Tank` (waits for room)."""
+
+    __slots__ = ("tank", "amount")
+
+    def __init__(self, tank: "Tank", amount: float) -> None:
+        super().__init__(tank.env)
+        self.tank = tank
+        self.amount = amount
+
+    def _abandon(self) -> None:
+        try:
+            self.tank._puts.remove(self)
+        except ValueError:  # pragma: no cover - already satisfied
+            pass
+
+
+class TankGet(Event):
+    """Pending get of ``amount`` from a :class:`Tank` (waits for level)."""
+
+    __slots__ = ("tank", "amount")
+
+    def __init__(self, tank: "Tank", amount: float) -> None:
+        super().__init__(tank.env)
+        self.tank = tank
+        self.amount = amount
+
+    def _abandon(self) -> None:
+        try:
+            self.tank._gets.remove(self)
+        except ValueError:  # pragma: no cover - already satisfied
+            pass
+
+
 class Tank:
     """A continuous level between 0 and ``capacity``.
 
     ``put``/``get`` block until the operation fits.  Used for shared-memory
     buffer pools and NIC ring occupancy accounting.
     """
+
+    __slots__ = ("env", "capacity", "_level", "_puts", "_gets")
 
     def __init__(
         self,
@@ -249,8 +345,8 @@ class Tank:
         self.env = env
         self.capacity = capacity
         self._level = float(initial)
-        self._puts: Deque[tuple[Event, float]] = deque()
-        self._gets: Deque[tuple[Event, float]] = deque()
+        self._puts: Deque[TankPut] = deque()
+        self._gets: Deque[TankGet] = deque()
 
     @property
     def level(self) -> float:
@@ -260,46 +356,52 @@ class Tank:
         """Add ``amount``; blocks while it would overflow capacity."""
         if amount < 0:
             raise ValueError(f"negative amount {amount}")
-        event = Event(self.env)
-        entry = (event, amount)
-        self._puts.append(entry)
-        event._abandon = lambda: self._withdraw(self._puts, entry)  # type: ignore[method-assign]
-        self._trigger()
+        if not self._puts and self._level + amount <= self.capacity:
+            # Fast path: the put fits and nobody is queued ahead (puts are
+            # served head-of-line, so an empty queue is required).
+            self._level += amount
+            event = Event(self.env)
+            event.succeed()
+            if self._gets:
+                self._trigger()
+            return event
+        event = TankPut(self, amount)
+        self._puts.append(event)
+        # No _trigger: the head put still does not fit (queue was non-empty
+        # or this put overflows), and the level did not change, so no
+        # queued get can have become satisfiable either.
         return event
 
     def get(self, amount: float) -> Event:
         """Remove ``amount``; blocks while the level is insufficient."""
         if amount < 0:
             raise ValueError(f"negative amount {amount}")
-        event = Event(self.env)
-        entry = (event, amount)
-        self._gets.append(entry)
-        event._abandon = lambda: self._withdraw(self._gets, entry)  # type: ignore[method-assign]
-        self._trigger()
+        if not self._gets and self._level >= amount:
+            self._level -= amount
+            event = Event(self.env)
+            event.succeed()
+            if self._puts:
+                self._trigger()
+            return event
+        event = TankGet(self, amount)
+        self._gets.append(event)
         return event
-
-    @staticmethod
-    def _withdraw(queue: Deque, entry) -> None:
-        try:
-            queue.remove(entry)
-        except ValueError:  # pragma: no cover - already satisfied
-            pass
 
     def _trigger(self) -> None:
         progressed = True
         while progressed:
             progressed = False
             if self._puts:
-                event, amount = self._puts[0]
-                if self._level + amount <= self.capacity:
+                put = self._puts[0]
+                if self._level + put.amount <= self.capacity:
                     self._puts.popleft()
-                    self._level += amount
-                    event.succeed()
+                    self._level += put.amount
+                    put.succeed()
                     progressed = True
             if self._gets:
-                event, amount = self._gets[0]
-                if self._level >= amount:
+                get = self._gets[0]
+                if self._level >= get.amount:
                     self._gets.popleft()
-                    self._level -= amount
-                    event.succeed()
+                    self._level -= get.amount
+                    get.succeed()
                     progressed = True

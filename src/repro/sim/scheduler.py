@@ -1,21 +1,40 @@
 """The simulation environment: virtual clock plus event queue.
 
-:class:`Environment` owns the heap of scheduled events and the current
+:class:`Environment` owns the queues of scheduled events and the current
 simulated time.  All FreeFlow experiments run inside one environment, so a
 whole cluster — hosts, NICs, agents, containers, the orchestrator — advances
 deterministically in virtual time.
 
 Time unit convention for this project: **seconds** (floats).  Hardware
 models convert from cycles / bytes / bits internally.
+
+Performance notes: the classic single-heap design pays O(log n) per event,
+but almost no event in a FreeFlow run actually needs it.  The environment
+therefore keeps three internally-sorted structures and ``step()`` pops the
+globally smallest ``(time, priority, eid)`` key, which makes the execution
+order *identical* to a single heap — time, then priority, then creation
+order — while the common cases are O(1):
+
+* ``_ready`` — FIFO deque of immediate events (``succeed()`` with no
+  delay: store handoffs, process resumes, resource grants).  Naturally
+  sorted: appended at the current time with increasing event ids, and the
+  clock never moves backwards.
+* ``_tail`` — deque of *delayed* events whose keys arrive in
+  non-decreasing order (the dominant pattern: fixed service latencies
+  re-armed as time advances).  A schedule whose key is not ``>=`` the
+  tail's last entry falls back to the heap.
+* ``_queue`` — heap for everything else: urgent (interrupt) events and
+  out-of-order delayed inserts.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from itertools import count
 from typing import Any, Iterable, Optional
 
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import NO_CALLBACKS, AllOf, AnyOf, Event, Timeout
 from .process import Process, ProcessGen
 
 __all__ = ["Environment", "EmptySchedule", "StopSimulation"]
@@ -45,9 +64,16 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
+        #: Heap of urgent / out-of-order delayed events.
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: FIFO of zero-delay NORMAL-priority events (the common case).
+        self._ready: deque[tuple[float, int, int, Event]] = deque()
+        #: Monotone deque of delayed NORMAL events (keys non-decreasing).
+        self._tail: deque[tuple[float, int, int, Event]] = deque()
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Total events processed by :meth:`step` (perf accounting).
+        self.events_processed: int = 0
 
     # -- clock -----------------------------------------------------------
 
@@ -89,26 +115,78 @@ class Environment:
         self, event: Event, delay: float = 0.0, priority: int = NORMAL
     ) -> None:
         """Queue ``event`` to be processed ``delay`` seconds from now."""
+        if delay == 0.0 and priority == NORMAL:
+            # Fast path: immediate events keep FIFO order on a deque; no
+            # heap, no log-n sift.
+            self._ready.append((self._now, NORMAL, next(self._eid), event))
+            return
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
-        )
+        entry = (self._now + delay, priority, next(self._eid), event)
+        if priority == NORMAL:
+            tail = self._tail
+            if not tail or entry >= tail[-1]:
+                # Monotone insert (fixed service latencies re-armed as the
+                # clock advances): O(1) append instead of a heap sift.
+                tail.append(entry)
+                return
+        heapq.heappush(self._queue, entry)
+
+    def _next_entry_time(self) -> float:
+        """Timestamp of the globally next event, or ``inf`` if none."""
+        first = float("inf")
+        if self._ready:
+            first = self._ready[0][0]
+        if self._tail and self._tail[0][0] < first:
+            first = self._tail[0][0]
+        if self._queue and self._queue[0][0] < first:
+            first = self._queue[0][0]
+        return first
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._next_entry_time()
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        # Pop the globally smallest (time, priority, eid) of the three
+        # internally-sorted structures (keep in sync with run()'s drain
+        # loop).  Each branch below compares at most two front keys.
+        ready = self._ready
+        tail = self._tail
+        queue = self._queue
+        if ready:
+            best = ready[0]
+            if tail and tail[0] < best:
+                best = tail[0]
+                if queue and queue[0] < best:
+                    self._now, _, _, event = heapq.heappop(queue)
+                else:
+                    self._now, _, _, event = tail.popleft()
+            elif queue and queue[0] < best:
+                self._now, _, _, event = heapq.heappop(queue)
+            else:
+                self._now, _, _, event = ready.popleft()
+        elif tail:
+            if queue and queue[0] < tail[0]:
+                self._now, _, _, event = heapq.heappop(queue)
+            else:
+                self._now, _, _, event = tail.popleft()
+        elif queue:
+            self._now, _, _, event = heapq.heappop(queue)
+        else:
+            raise EmptySchedule()
+        self.events_processed += 1
 
-        callbacks = event._mark_processed()
-        for callback in callbacks:
-            callback(event)
+        # Inlined Event._mark_processed + dispatch: the compact callback
+        # representation means no list is built for 0/1-waiter events.
+        callbacks = event._callbacks
+        event._callbacks = None
+        if type(callbacks) is list:
+            for callback in callbacks:
+                callback(event)
+        elif callbacks is not NO_CALLBACKS:
+            callbacks(event)
 
         if not event._ok and not event.defused:
             # A failure that nobody consumed: surface it loudly.
@@ -135,8 +213,7 @@ class Environment:
                 if stop_event._ok:
                     return stop_event._value
                 raise stop_event._value
-            assert stop_event.callbacks is not None
-            stop_event.callbacks.append(self._stop_on)
+            stop_event._add_callback(self._stop_on)
         else:
             stop_at = float(until)
             stop_event = None
@@ -146,11 +223,55 @@ class Environment:
                 )
 
         try:
-            while self._queue:
-                if self._queue[0][0] > stop_at:
-                    self._now = stop_at
-                    return None
-                self.step()
+            if stop_at == float("inf"):
+                # No time bound: drain the queues with step()'s body
+                # inlined (keep in sync with step()) — the per-event method
+                # call is measurable at millions of events per run.
+                ready = self._ready
+                tail = self._tail
+                queue = self._queue
+                heappop = heapq.heappop
+                events = 0
+                try:
+                    while ready or tail or queue:
+                        if ready:
+                            best = ready[0]
+                            if tail and tail[0] < best:
+                                best = tail[0]
+                                if queue and queue[0] < best:
+                                    self._now, _, _, event = heappop(queue)
+                                else:
+                                    self._now, _, _, event = tail.popleft()
+                            elif queue and queue[0] < best:
+                                self._now, _, _, event = heappop(queue)
+                            else:
+                                self._now, _, _, event = ready.popleft()
+                        elif tail:
+                            if queue and queue[0] < tail[0]:
+                                self._now, _, _, event = heappop(queue)
+                            else:
+                                self._now, _, _, event = tail.popleft()
+                        else:
+                            self._now, _, _, event = heappop(queue)
+                        events += 1
+                        callbacks = event._callbacks
+                        event._callbacks = None
+                        if type(callbacks) is list:
+                            for callback in callbacks:
+                                callback(event)
+                        elif callbacks is not NO_CALLBACKS:
+                            callbacks(event)
+                        if not event._ok and not event.defused:
+                            raise event._value
+                finally:
+                    self.events_processed += events
+            else:
+                while True:
+                    next_at = self._next_entry_time()
+                    if next_at > stop_at:  # also covers drained queues (inf)
+                        self._now = stop_at
+                        return None
+                    self.step()
         except StopSimulation as stop:
             event = stop.args[0]
             if event._ok:

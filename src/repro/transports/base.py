@@ -15,10 +15,10 @@ land on the :class:`~repro.netstack.packet.Message` for measurement.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..netstack.packet import EndpointAddr, Message
+from ..sim.monitor import StreamingSeries
 from ..sim.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -40,19 +40,26 @@ class Mechanism(enum.Enum):
         return self is not Mechanism.TCP
 
 
-@dataclass
 class LaneStats:
-    """Delivery counters for one lane."""
+    """Delivery counters for one lane.
 
-    messages_sent: int = 0
-    messages_delivered: int = 0
-    payload_bytes: int = 0
-    latencies: list = field(default_factory=list)
+    ``latencies`` is a :class:`~repro.sim.monitor.StreamingSeries`: exact
+    count/sum/min/max plus a bounded reservoir for percentiles, so a lane
+    that delivers millions of messages does not grow memory linearly.
+    """
+
+    __slots__ = ("messages_sent", "messages_delivered", "payload_bytes", "latencies")
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.payload_bytes = 0
+        self.latencies = StreamingSeries()
 
     def record_delivery(self, message: Message) -> None:
         self.messages_delivered += 1
         self.payload_bytes += message.size_bytes
-        self.latencies.append(message.latency)
+        self.latencies.add(message.latency)
 
 
 class Lane:
@@ -61,6 +68,8 @@ class Lane:
     Subclasses implement :meth:`send`; they call :meth:`deliver` when the
     message reaches the destination endpoint.
     """
+
+    __slots__ = ("env", "mechanism", "inbox", "stats", "closed", "on_deliver")
 
     def __init__(self, env: "Environment", mechanism: Mechanism) -> None:
         self.env = env

@@ -87,6 +87,8 @@ class DpdkEngine:
 class DpdkLane(Lane):
     """One direction of a DPDK channel between two hosts (or loopback)."""
 
+    __slots__ = ("src_host", "dst_host", "src_engine", "dst_engine", "window", "_wire_queue")
+
     def __init__(
         self,
         src_host: "Host",

@@ -36,6 +36,8 @@ __all__ = ["RdmaLane", "RdmaChannel"]
 class RdmaLane(Lane):
     """One direction of a reliable RDMA connection (one queue pair)."""
 
+    __slots__ = ("src_host", "dst_host", "window", "_sq", "_rx")
+
     def __init__(
         self,
         src_host: "Host",

@@ -35,6 +35,8 @@ __all__ = ["ShmLane", "ShmChannel"]
 class ShmLane(Lane):
     """One direction of a shared-memory ring between two local processes."""
 
+    __slots__ = ("host", "spec", "ring", "_rx_queue")
+
     def __init__(self, host: "Host", spec: Optional[ShmSpec] = None) -> None:
         super().__init__(host.env, Mechanism.SHM)
         self.host = host

@@ -26,6 +26,8 @@ __all__ = ["TcpLane", "TcpFallbackChannel"]
 class TcpLane(Lane):
     """Adapter lane over one direction of a host-mode kernel connection."""
 
+    __slots__ = ("_direction",)
+
     def __init__(self, direction) -> None:
         super().__init__(direction.env, Mechanism.TCP)
         self._direction = direction

@@ -148,3 +148,86 @@ class TestIntervalRecorder:
         assert recorder.active == 3
         recorder.idle()
         assert recorder.active == 2
+
+
+class TestStreamingSeries:
+    def test_exact_moments_match_plain_series(self):
+        from repro.sim import Series, StreamingSeries
+
+        streaming = StreamingSeries()
+        plain = Series()
+        for value in (3.0, 1.0, 4.0, 1.0, 5.0, 9.0):
+            streaming.add(value)
+            plain.add(value)
+        assert len(streaming) == len(plain)
+        assert streaming.mean() == pytest.approx(plain.mean())
+        assert streaming.minimum() == plain.minimum()
+        assert streaming.maximum() == plain.maximum()
+
+    def test_percentiles_exact_below_reservoir_size(self):
+        from repro.sim import StreamingSeries
+
+        series = StreamingSeries()
+        series.extend(range(101))
+        assert series.percentile(0) == 0
+        assert series.percentile(50) == 50
+        assert series.percentile(100) == 100
+        assert series.median() == 50
+
+    def test_append_aliases_add(self):
+        from repro.sim import StreamingSeries
+
+        series = StreamingSeries()
+        series.append(2.5)
+        assert len(series) == 1
+        assert series.mean() == 2.5
+
+    def test_empty_raises(self):
+        from repro.sim import StreamingSeries
+
+        series = StreamingSeries()
+        with pytest.raises(ValueError):
+            series.mean()
+        with pytest.raises(ValueError):
+            series.percentile(50)
+
+    def test_invalid_arguments(self):
+        from repro.sim import StreamingSeries
+
+        with pytest.raises(ValueError):
+            StreamingSeries(reservoir=0)
+        series = StreamingSeries()
+        series.add(1.0)
+        with pytest.raises(ValueError):
+            series.percentile(101)
+
+    def test_deterministic_sampling(self):
+        from repro.sim import StreamingSeries
+
+        a = StreamingSeries(reservoir=16)
+        b = StreamingSeries(reservoir=16)
+        for value in range(10_000):
+            a.add(value)
+            b.add(value)
+        assert a.samples == b.samples
+
+    def test_million_samples_bounded_memory(self):
+        # Acceptance: a 1M-sample stream must not grow memory linearly —
+        # the reservoir stays at its fixed capacity while the exact
+        # moments cover the full stream.
+        from repro.sim import StreamingSeries
+
+        n = 1_000_000
+        series = StreamingSeries(reservoir=512)
+        add = series.add
+        for value in range(n):
+            add(float(value))
+        assert len(series) == n
+        assert len(series.samples) == 512
+        assert series.minimum() == 0.0
+        assert series.maximum() == float(n - 1)
+        assert series.mean() == pytest.approx((n - 1) / 2)
+        # Reservoir percentiles approximate the uniform stream.
+        assert series.percentile(50) == pytest.approx(n / 2, rel=0.15)
+        summary = series.summary()
+        assert summary["count"] == float(n)

@@ -286,3 +286,147 @@ class TestInterruptAbandonsClaims:
         env.process(driver())
         env.run()
         assert got == [2]
+
+
+class TestStoreFastPath:
+    """The immediate-handoff fast path must not change observable order."""
+
+    def test_get_from_buffer_triggers_synchronously(self, env):
+        store = Store(env)
+        store.put(1)
+        get = store.get()
+        # Fast path: triggered at creation, before any env.run().
+        assert get.triggered
+        env.run()
+        assert get.value == 1
+
+    def test_fifo_preserved_across_fast_and_queued_gets(self, env):
+        store = Store(env)
+        results = []
+
+        def getter(name):
+            item = yield store.get()
+            results.append((name, item))
+
+        env.process(getter("queued-a"))
+        env.process(getter("queued-b"))
+        env.run()  # both getters park on the empty store
+        store.put(1)
+        store.put(2)
+        store.put(3)
+
+        def late_getter():
+            item = yield store.get()
+            results.append(("late", item))
+
+        env.process(late_getter())
+        env.run()
+        # Queued getters drain in arrival order; the latecomer gets the
+        # remaining item — the fast path never lets it overtake.
+        assert results == [("queued-a", 1), ("queued-b", 2), ("late", 3)]
+
+    def test_predicate_get_fast_path_takes_matching_item(self, env):
+        store = Store(env)
+        for item in (1, 2, 3):
+            store.put(item)
+        get = store.get(predicate=lambda x: x == 2)
+        assert get.triggered
+        env.run()
+        assert get.value == 2
+        assert list(store.items) == [1, 3]
+
+    def test_predicate_get_without_match_waits(self, env):
+        store = Store(env)
+        store.put(1)
+        get = store.get(predicate=lambda x: x == 99)
+        assert not get.triggered
+        store.put(99)
+        env.run()
+        assert get.value == 99
+        assert list(store.items) == [1]
+
+    def test_fast_get_readmits_blocked_put(self, env):
+        store = Store(env, capacity=1)
+        store.put("a")
+        blocked = store.put("b")
+        assert not blocked.triggered  # store full, put parks
+        get = store.get()
+        assert get.triggered  # fast path handoff of "a"
+        assert blocked.triggered  # freed slot admits the queued put
+        env.run()
+        assert get.value == "a"
+        assert list(store.items) == ["b"]
+
+    def test_put_fast_path_wakes_parked_getter(self, env):
+        store = Store(env)
+        results = []
+
+        def getter():
+            item = yield store.get()
+            results.append(item)
+
+        env.process(getter())
+        env.run()
+        put = store.put("x")
+        assert put.triggered  # space available: accepted on the spot
+        env.run()
+        assert results == ["x"]
+
+    def test_queued_puts_not_overtaken_by_newcomer(self, env):
+        store = Store(env, capacity=1)
+        store.put("a")
+        first = store.put("b")
+        second = store.put("c")
+        env.run()
+        assert not first.triggered and not second.triggered
+        gets = [store.get(), store.get(), store.get()]
+        env.run()
+        assert [g.value for g in gets] == ["a", "b", "c"]
+
+
+class TestTankFastPath:
+    def test_put_get_trigger_synchronously_when_room(self, env):
+        tank = Tank(env, capacity=10.0)
+        put = tank.put(4.0)
+        assert put.triggered
+        assert tank.level == 4.0
+        get = tank.get(3.0)
+        assert get.triggered
+        assert tank.level == 1.0
+
+    def test_queued_put_not_overtaken_by_smaller_newcomer(self, env):
+        tank = Tank(env, capacity=10.0, initial=8.0)
+        big = tank.put(5.0)  # 8 + 5 > 10: parks
+        small = tank.put(1.0)  # would fit, but must queue behind `big`
+        assert not big.triggered
+        assert not small.triggered
+        assert tank.level == 8.0
+        get = tank.get(5.0)  # frees room: head-of-line put admitted first
+        assert get.triggered
+        env.run()
+        assert big.triggered
+        assert small.triggered
+        assert tank.level == 8.0 - 5.0 + 5.0 + 1.0
+
+    def test_fast_get_wakes_blocked_put(self, env):
+        tank = Tank(env, capacity=10.0, initial=10.0)
+        put = tank.put(2.0)
+        assert not put.triggered
+        get = tank.get(2.0)
+        assert get.triggered
+        assert put.triggered
+        assert tank.level == 10.0
+
+    def test_queued_get_not_overtaken(self, env):
+        tank = Tank(env, capacity=100.0)
+        big = tank.get(50.0)  # empty: parks
+        small = tank.get(1.0)  # must queue behind `big`
+        tank.put(30.0)
+        env.run()
+        assert not big.triggered
+        assert not small.triggered
+        tank.put(25.0)
+        env.run()
+        assert big.triggered
+        assert small.triggered
+        assert tank.level == 30.0 + 25.0 - 50.0 - 1.0

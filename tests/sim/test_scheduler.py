@@ -117,3 +117,82 @@ def test_active_process_tracked(env):
     env.run()
     assert seen == [process]
     assert env.active_process is None
+
+# -- regression tests: `until` boundary semantics and queue interleaving --
+
+
+def test_run_until_lands_exactly_on_stop_time(env):
+    env.timeout(1)
+    env.timeout(2)
+    env.run(until=3.7)
+    assert env.now == 3.7
+
+
+def test_run_until_exact_when_queue_drains_early(env):
+    # The queue empties at t=1 but the clock must still advance to `until`.
+    env.timeout(1)
+    env.run(until=7.5)
+    assert env.now == 7.5
+    assert env.peek() == float("inf")
+
+
+def test_run_until_event_exactly_at_stop_time(env):
+    hits = []
+    t = env.timeout(3.0)
+    t.callbacks.append(lambda e: hits.append(env.now))
+    env.run(until=3.0)
+    assert hits == [3.0]
+    assert env.now == 3.0
+
+
+def test_run_until_already_failed_processed_event_raises(env):
+    event = env.event()
+    event.defused = True  # nobody waits; suppress the unhandled-error check
+    event.fail(ValueError("boom"))
+    env.run()
+    assert event.processed
+    with pytest.raises(ValueError, match="boom"):
+        env.run(until=event)
+
+
+def test_run_until_event_that_fails_during_run_raises(env):
+    event = env.event()
+    event.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        env.run(until=event)
+
+
+def test_out_of_order_delays_keep_time_order(env):
+    # Decreasing delays exercise the heap fallback behind the monotone
+    # tail deque; mixed same-time events exercise FIFO within a time.
+    order = []
+    for delay in (5, 3, 4, 3):
+        t = env.timeout(delay)
+        t.callbacks.append(lambda e, d=delay: order.append(d))
+    env.run()
+    assert order == [3, 3, 4, 5]
+
+
+def test_zero_delay_and_delayed_events_interleave_in_time_order(env):
+    order = []
+
+    def worker():
+        order.append(("start", env.now))
+        yield env.timeout(0)
+        order.append(("zero", env.now))
+        yield env.timeout(2)
+        order.append(("two", env.now))
+
+    t = env.timeout(1)
+    t.callbacks.append(lambda e: order.append(("one", env.now)))
+    env.process(worker())
+    env.run()
+    assert order == [("start", 0), ("zero", 0), ("one", 1), ("two", 2)]
+
+
+def test_events_processed_counter(env):
+    for _ in range(3):
+        env.timeout(1)
+    env.run()
+    # 3 timeouts (no process-bookkeeping events involved).
+    assert env.events_processed == 3
