@@ -5,6 +5,7 @@ Gives the library a zero-setup "does it work?" entry point:
 * ``python -m repro``          — the quickstart demo (default)
 * ``python -m repro matrix``   — the Fig. 2 / Table 1 mechanism matrix
 * ``python -m repro compare``  — FreeFlow vs every baseline, intra+inter
+* ``python -m repro trace``    — per-hop latency breakdown per mechanism
 """
 
 from __future__ import annotations
@@ -138,10 +139,60 @@ def demo_compare() -> None:
                   f"CPU {result.total_cpu_percent:4.0f} %")
 
 
+def demo_trace() -> None:
+    """Where does each mechanism's latency go?  (telemetry tentpole)
+
+    Runs a traced ping-pong over shared memory, RDMA and kernel TCP and
+    prints the tracer's per-hop breakdown next to the harness's measured
+    latency — the segment means sum to the end-to-end mean exactly, so
+    the two numbers must agree (CI checks within 1%).
+    """
+    from . import telemetry
+    from .hardware import Fabric, Host
+    from .sim import Environment
+    from .telemetry import export
+    from .transports import RdmaChannel, ShmChannel, TcpFallbackChannel
+
+    def mk_shm(env):
+        return ShmChannel(Host(env, "h0"))
+
+    def mk_rdma(env):
+        fabric = Fabric(env)
+        return RdmaChannel(Host(env, "a", fabric=fabric),
+                           Host(env, "b", fabric=fabric))
+
+    def mk_tcp(env):
+        fabric = Fabric(env)
+        return TcpFallbackChannel(Host(env, "a", fabric=fabric),
+                                  Host(env, "b", fabric=fabric))
+
+    for label, make in (("shm", mk_shm), ("rdma", mk_rdma),
+                        ("kernel-tcp", mk_tcp)):
+        env = Environment()
+        channel = make(env)
+        with telemetry.session(sample_rate=1.0) as handle:
+            result = run_pingpong(env, channel.a, channel.b,
+                                  rounds=100, warmup_rounds=0)
+            aggregate = handle.tracer.breakdown()
+        measured = result.latencies.mean()
+        traced = aggregate["mean_total_s"]
+        error = abs(traced - measured) / measured if measured else 0.0
+        print(export.format_breakdown(aggregate, label=label))
+        print(f"  harness one-way mean: {measured * 1e6:.3f} us  "
+              f"(trace vs harness: {error * 100:.3f}% apart)")
+        if error > 0.01:
+            raise SystemExit(
+                f"trace/harness mismatch for {label}: {error * 100:.2f}%"
+            )
+        print()
+    print("  all mechanisms: segment sums match end-to-end latency (<1%)")
+
+
 DEMOS = {
     "quickstart": demo_quickstart,
     "matrix": demo_matrix,
     "compare": demo_compare,
+    "trace": demo_trace,
 }
 
 

@@ -7,6 +7,13 @@ that FreeFlow's *network* orchestrator can watch placements exactly the
 way the paper prescribes ("the information about the location of the
 other endpoints can be easily obtained by querying the orchestrator",
 §3.1).
+
+Ownership split (see DESIGN.md "Two orchestrators"): this class owns
+*lifecycle and placement* only.  Everything network-flavoured — overlay
+IPs, location queries with RPC latency, NIC capabilities, the mechanism
+policy — belongs to :class:`repro.core.orchestrator.NetworkOrchestrator`,
+which derives its state from here and is never a second source of truth
+for placement.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..errors import OrchestrationError, PlacementError, UnknownContainer
 from ..hardware.host import Host
+from ..telemetry import events as _events
+from ..telemetry import registry as _registry
 from ..hardware.vm import VirtualMachine
 from .container import Container, ContainerSpec, ContainerStatus
 from .fabric import FabricController
@@ -57,6 +66,9 @@ class ClusterOrchestrator:
             "rdma": host.rdma_capable,
             "dpdk": host.dpdk_capable,
         })
+        registry = _registry.ACTIVE
+        if registry is not None:
+            registry.register_host(host)
 
     def add_vm(self, vm: VirtualMachine) -> None:
         if vm.name in self._vms:
@@ -90,6 +102,9 @@ class ClusterOrchestrator:
         container.start()
         self._containers[spec.name] = container
         self._publish(container)
+        _events.emit(self.env, "container.submit", container=spec.name,
+                     host=host.name,
+                     vm=vm.name if vm is not None else "")
         return container
 
     def _resolve_placement(self, spec: ContainerSpec):
@@ -199,6 +214,9 @@ class ClusterOrchestrator:
         else:
             raise PlacementError(f"unknown destination {destination!r}")
         self._publish(container)
+        _events.emit(self.env, "container.migrate", container=name,
+                     destination=destination,
+                     generation=container.generation)
         return container
 
     # -- the query surface FreeFlow consumes ----------------------------------------

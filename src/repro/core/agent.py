@@ -140,12 +140,22 @@ class RelayLane(Lane):
                 f"{self.src_spec.ring_bytes} B"
             )
         message = self.make_message(nbytes, payload)
+        trace = self._trace_of(message)
         host = self.src_agent.host
+        mark = self.env.now
         yield from host.cpu.execute(self.src_spec.per_message_cycles)
         yield self.src_ring.put(max(1, nbytes))
+        if trace is not None:
+            trace.add("queue", mark, self.env.now)
+            mark = self.env.now
         yield from host.memcpy(nbytes)
+        if trace is not None:
+            trace.add("copy", mark, self.env.now)
+            mark = self.env.now
         yield from host.cpu.execute(self.src_spec.notify_cycles)
         yield self.env.timeout(self.src_spec.notify_latency_s)
+        if trace is not None:
+            trace.add("kernel", mark, self.env.now)
         self._tx.put(message)
         return message
 
@@ -155,10 +165,16 @@ class RelayLane(Lane):
         """Sender-side agent: ring → backing transport."""
         while True:
             message = yield self._tx.get()
+            trace = self._trace_of(message)
             if not self.src_agent.zero_copy:
                 # Conventional proxy: copy out of the ring first.
+                mark = self.env.now
                 yield from self.src_agent.host.memcpy(message.size_bytes)
+                if trace is not None:
+                    trace.add("copy", mark, self.env.now)
                 self.src_agent.stats.relay_copies += 1
+            # The backing lane traces its own (inner) message; on the
+            # relay's trace the backing flight shows up as "wait".
             yield from self.backing.send(message.size_bytes, payload=message)
             # The payload left the ring (DMA'd or copied): free the slot.
             yield self.src_ring.get(max(1, message.size_bytes))
@@ -170,15 +186,25 @@ class RelayLane(Lane):
         while True:
             wrapped = yield from self.backing.recv()
             message: "Message" = wrapped.payload
+            trace = self._trace_of(message)
+            mark = self.env.now
             message.meta["ring"] = self.dst_ring
             yield self.dst_ring.put(max(1, message.size_bytes))
+            if trace is not None:
+                trace.add("queue", mark, self.env.now)
+                mark = self.env.now
             if not self.dst_agent.zero_copy:
                 yield from self.dst_agent.host.memcpy(message.size_bytes)
                 self.dst_agent.stats.relay_copies += 1
+                if trace is not None:
+                    trace.add("copy", mark, self.env.now)
+                    mark = self.env.now
             yield from self.dst_agent.host.cpu.execute(
                 self.dst_spec.notify_cycles
             )
             yield self.env.timeout(self.dst_spec.notify_latency_s)
+            if trace is not None:
+                trace.add("kernel", mark, self.env.now)
             self.dst_agent.stats.messages_relayed += 1
             self.dst_agent.stats.bytes_relayed += message.size_bytes
             self.deliver(message)
@@ -188,11 +214,16 @@ class RelayLane(Lane):
     def recv(self):
         """The receiving container consumes from its shared ring."""
         message = yield self.inbox.get()
+        trace = self._trace_of(message)
+        mark = self.env.now
         yield from self.dst_agent.host.cpu.execute(
             self.dst_spec.per_message_cycles
         )
         ring = message.meta.pop("ring", self.dst_ring)
         yield ring.get(max(1, message.size_bytes))
+        if trace is not None:
+            trace.add("consume", mark, self.env.now)
+        self._finish_trace(message)
         return message
 
     def close(self) -> None:

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..errors import FreeFlowError
 from ..sim.resources import Store
+from ..telemetry import registry as _registry
 from .verbs import Opcode, WorkRequest
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -156,6 +157,8 @@ class RankEndpoint:
         self.comm._check_rank(dest)
         if dest == self.rank:
             raise FreeFlowError("a rank does not send to itself")
+        _registry.counter_inc("repro.mpi.sends")
+        _registry.counter_inc("repro.mpi.send_bytes", max(1, nbytes))
         yield from self.container.host.cpu.execute(MPI_TRANSLATION_CYCLES)
         yield from self._ensure_link(dest)
         qp, _ = self._endpoints[dest]
@@ -167,6 +170,7 @@ class RankEndpoint:
     def recv(self, source: int, tag: Optional[int] = None):
         """MPI_Recv (generator): returns ``(nbytes, payload)``."""
         self.comm._check_rank(source)
+        _registry.counter_inc("repro.mpi.recvs")
         yield from self.container.host.cpu.execute(MPI_TRANSLATION_CYCLES)
         yield from self._ensure_link(source)
         inbox = self._inbox(source)

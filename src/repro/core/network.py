@@ -31,6 +31,8 @@ from typing import TYPE_CHECKING, Optional
 from ..cluster.container import Container
 from ..cluster.orchestrator import ClusterOrchestrator
 from ..errors import ChannelRebound, OrchestrationError
+from ..telemetry import events as _events
+from ..telemetry import registry as _registry
 from ..transports.base import DuplexChannel, Mechanism
 from .agent import FreeFlowAgent, build_channel
 from .orchestrator import NetworkOrchestrator
@@ -184,6 +186,9 @@ class FreeFlowNetwork:
         self.connections: list[FlowConnection] = []
         self.cache_hits = 0
         self.cache_misses = 0
+        registry = _registry.ACTIVE
+        if registry is not None:
+            registry.register_network(self)
 
     # -- agents ------------------------------------------------------------------
 
@@ -207,12 +212,15 @@ class FreeFlowNetwork:
         self.agent_for(container.host)
         vnic = VirtualNic(container, self)
         self._vnics[container.name] = vnic
+        _events.emit(self.env, "container.attach", container=container.name,
+                     host=container.host.name, ip=container.ip)
         return vnic
 
     def detach(self, name: str) -> None:
         self._vnics.pop(name, None)
         self.orchestrator.deregister(name)
         self.invalidate(name)
+        _events.emit(self.env, "container.detach", container=name)
 
     def vnic(self, name: str) -> VirtualNic:
         try:
@@ -234,6 +242,9 @@ class FreeFlowNetwork:
         decision = yield from self.orchestrator.query_mechanism(
             src_name, dst_name
         )
+        _events.emit(self.env, "policy.decision", src=src_name, dst=dst_name,
+                     mechanism=decision.mechanism.value,
+                     reason=decision.reason)
         if self.cache_ttl_s > 0:
             self._cache[key] = (decision, self.env.now + self.cache_ttl_s)
         return decision
@@ -276,6 +287,8 @@ class FreeFlowNetwork:
         channel = self._build(src_name, dst_name, decision)
         connection = FlowConnection(src_name, dst_name, channel, decision)
         self.connections.append(connection)
+        _events.emit(self.env, "flow.connect", src=src_name, dst=dst_name,
+                     mechanism=decision.mechanism.value)
         return connection
 
     def connect(self, qp_a: QueuePair, qp_b: QueuePair):
@@ -302,6 +315,8 @@ class FreeFlowNetwork:
             src.name, dst.name, channel, decision, qp_a=qp_a, qp_b=qp_b
         )
         self.connections.append(connection)
+        _events.emit(self.env, "flow.connect", src=src.name, dst=dst.name,
+                     mechanism=decision.mechanism.value, verbs=True)
         return decision
 
     def _build(
@@ -382,6 +397,9 @@ class FreeFlowNetwork:
                     ConnectionReset(f"host {host_name} failed")
                 )
             connection.channel.close()
+        _events.emit(self.env, "host.failure", host=host_name,
+                     containers_lost=len(lost),
+                     connections_broken=len(broken))
         return broken
 
     def repair_connection(self, connection: FlowConnection):
@@ -397,6 +415,9 @@ class FreeFlowNetwork:
         self.vnic(connection.dst_name)
         decision = yield from self.rebind(connection)
         connection.failed = False
+        _events.emit(self.env, "flow.repair", src=connection.src_name,
+                     dst=connection.dst_name,
+                     mechanism=decision.mechanism.value)
         return decision
 
     # -- migration hook ---------------------------------------------------------------
@@ -438,4 +459,8 @@ class FreeFlowNetwork:
             for old_lane in (old.lane_ab, old.lane_ba):
                 old_lane.eject_receivers(ChannelRebound("channel was rebound"))
         old.close()
+        _events.emit(self.env, "flow.rebind", src=connection.src_name,
+                     dst=connection.dst_name,
+                     mechanism=decision.mechanism.value,
+                     generation=connection.generation)
         return decision

@@ -14,6 +14,14 @@ with a modelled RPC latency, since the paper's library keeps "pulling
 the newest container location information" over the network — and pushes
 change notifications through KV-store watches so agents and libraries
 can cache without going stale forever.
+
+Ownership split (see DESIGN.md "Two orchestrators"): the **cluster**
+orchestrator (:class:`repro.cluster.orchestrator.ClusterOrchestrator`)
+owns container *lifecycle and placement* — hosts, VMs, submit/stop,
+relocation, host failure.  This **network** orchestrator owns the
+*network view* derived from it — overlay IPs, location/capability
+queries, the mechanism policy.  Nothing network-related lives in the
+cluster orchestrator, and this class never places or moves containers.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from ..cluster.kvstore import KeyValueStore, Watch
 from ..cluster.orchestrator import ClusterOrchestrator
 from ..errors import UnknownContainer
 from ..netstack.addressing import IpPool, OverlaySubnets
+from ..telemetry import events as _events
 from ..transports.base import Mechanism
 from .policy import MechanismPolicy, PolicyConfig, PolicyDecision
 
@@ -83,6 +92,9 @@ class NetworkOrchestrator:
         self._records[container.name] = record
         self._ip_index[ip] = container.name
         self._publish(record)
+        _events.emit(self.env, "container.register",
+                     container=container.name, ip=ip,
+                     host=record.host_name)
         return record
 
     def deregister(self, name: str) -> None:
@@ -93,12 +105,17 @@ class NetworkOrchestrator:
         self.subnets.pool(record.container.tenant).release(record.ip)
         record.container.ip = None
         self.kv.delete(f"/network/containers/{name}")
+        _events.emit(self.env, "container.deregister", container=name,
+                     ip=record.ip)
 
     def refresh_location(self, name: str) -> ContainerRecord:
         """Re-sync a record after the cluster moved the container."""
         record = self._record(name)
         record.generation = record.container.generation
         self._publish(record)
+        _events.emit(self.env, "container.relocate", container=name,
+                     host=record.host_name,
+                     generation=record.generation)
         return record
 
     def _publish(self, record: ContainerRecord) -> None:

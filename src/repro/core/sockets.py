@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Optional
 from ..errors import ConnectionRefused, SocketError
 from ..netstack.packet import EndpointAddr
 from ..sim.resources import Store
+from ..telemetry import registry as _registry
 from .verbs import Opcode, WorkRequest
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -216,11 +217,14 @@ class FreeFlowSocket:
         host = self.container.host
         remaining = nbytes
         first = True
+        _registry.counter_inc("repro.socket.sends")
+        _registry.counter_inc("repro.socket.send_bytes", nbytes)
         while remaining > 0:
             fragment = min(remaining, MAX_FRAGMENT_BYTES)
             yield from host.cpu.execute(SOCKET_TRANSLATION_CYCLES)
             if fragment < ZERO_COPY_THRESHOLD_BYTES:
                 # Bounce-buffer copy into registered memory.
+                _registry.counter_inc("repro.socket.bounce_copies")
                 yield from host.memcpy(fragment)
             wr = WorkRequest(
                 opcode=Opcode.SEND, length=fragment,
@@ -245,6 +249,7 @@ class FreeFlowSocket:
         if max_bytes <= 0:
             raise SocketError(f"recv size must be positive, got {max_bytes}")
         host = self.container.host
+        _registry.counter_inc("repro.socket.recvs")
         yield from host.cpu.execute(SOCKET_TRANSLATION_CYCLES)
         if not self._rx_buffer:
             if self.peer_closed:

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Any, Optional
 
 from ..errors import VerbsError
 from ..sim.process import Interrupt
+from ..telemetry import registry as _registry
 from ..transports.base import ChannelEnd, Mechanism
 from .verbs import (
     CompletionQueue,
@@ -161,6 +162,7 @@ class VirtualNic:
     def charge_post(self):
         """CPU cost of one post through the customized verbs library."""
         self.posts += 1
+        _registry.counter_inc("repro.vnic.posts")
         host = self.container.host
         yield from host.cpu.execute(
             host.nic.spec.rdma_post_cycles + VNIC_POST_OVERHEAD_CYCLES

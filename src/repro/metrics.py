@@ -23,6 +23,8 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 from .hardware.specs import to_gbps
 from .sim.monitor import Series
 from .sim.process import Interrupt
+from .telemetry import registry as _registry
+from .telemetry import tracer as _tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from .hardware.host import Host
@@ -48,6 +50,9 @@ class StreamResult:
     #: Engine events processed during the measurement window — the cost of
     #: simulating this workload, for perf tracking (see bench_engine.py).
     engine_events: int = 0
+    #: Per-hop latency breakdown from the active tracer (None when
+    #: tracing was disabled or sampled nothing during the run).
+    breakdown: Optional[dict] = None
 
     @property
     def total_cpu_percent(self) -> float:
@@ -67,6 +72,9 @@ class PingPongResult:
     latencies: Series
     rounds: int
     message_bytes: int
+    #: Per-hop latency breakdown from the active tracer (None when
+    #: tracing was disabled or sampled nothing during the run).
+    breakdown: Optional[dict] = None
 
     def mean_us(self) -> float:
         return self.latencies.mean() * 1e6
@@ -76,18 +84,31 @@ class PingPongResult:
 
 
 def _pair_in_flight(send_end, recv_end) -> int:
-    """Best-effort count of messages accepted but not yet delivered."""
+    """Count of messages accepted but not yet delivered on one pair.
+
+    Every supported endpoint flavour exposes one of two shapes: an
+    ``_out`` lane whose stats carry both ``messages_sent`` and
+    ``messages_delivered`` (transport lanes, kernel-TCP directions), or a
+    ``_connection`` with an ``in_flight()`` method (FreeFlow connection
+    ends).  Anything else is a bug in the caller — silently answering 0
+    here used to end the drain loop early and corrupt the *next*
+    measurement on the channel, so unknown endpoints are rejected loudly.
+    """
     out_lane = getattr(send_end, "_out", None)
     if out_lane is not None and hasattr(out_lane, "stats"):
         stats = out_lane.stats
         sent = getattr(stats, "messages_sent", None)
-        if sent is not None:
-            return sent - stats.messages_delivered
-        # Kernel-path lanes track deliveries only; fall through.
+        delivered = getattr(stats, "messages_delivered", None)
+        if sent is not None and delivered is not None:
+            return sent - delivered
     connection = getattr(send_end, "_connection", None)
     if connection is not None:
         return connection.in_flight()
-    return 0
+    raise TypeError(
+        f"cannot count in-flight messages on {type(send_end).__name__}: "
+        "expected an endpoint with lane stats "
+        "(messages_sent/messages_delivered) or a FlowConnection facade"
+    )
 
 
 def _snapshot(hosts: Sequence["Host"]) -> tuple[dict, dict, dict, dict]:
@@ -125,6 +146,8 @@ def run_stream(
     stop_at = env.now + warmup_s + duration_s
     counting = {"on": warmup_s == 0, "messages": 0, "bytes": 0}
     per_pair = [0] * len(pairs)
+    tracer = _tracer.ACTIVE
+    trace_mark = len(tracer) if tracer is not None else 0
 
     def sender(end):
         try:
@@ -180,7 +203,7 @@ def run_stream(
             worker.interrupt("measurement over")
     env.run(until=env.now)
 
-    return StreamResult(
+    result = StreamResult(
         gbps=to_gbps(counting["bytes"] / elapsed) if elapsed > 0 else 0.0,
         messages=counting["messages"],
         payload_bytes=counting["bytes"],
@@ -192,6 +215,11 @@ def run_stream(
         per_pair_bytes=per_pair,
         engine_events=engine_events,
     )
+    if tracer is not None and len(tracer) > trace_mark:
+        result.breakdown = tracer.breakdown(start=trace_mark)
+    _registry.counter_inc("repro.bench.stream.runs")
+    _registry.histogram_observe("repro.bench.stream.gbps", result.gbps)
+    return result
 
 
 def run_pingpong(
@@ -206,14 +234,23 @@ def run_pingpong(
     if rounds <= 0:
         raise ValueError("rounds must be positive")
     latencies = Series()
+    tracer = _tracer.ACTIVE
+    trace_mark = len(tracer) if tracer is not None else 0
 
     def client():
+        nonlocal trace_mark
         for i in range(warmup_rounds + rounds):
+            if i == warmup_rounds and tracer is not None:
+                # Scope the breakdown to the measured rounds only.
+                trace_mark = len(tracer)
             started = env.now
             yield from client_end.send(message_bytes)
             yield from client_end.recv()
             if i >= warmup_rounds:
                 latencies.add((env.now - started) / 2)
+                _registry.histogram_observe(
+                    "repro.bench.pingpong.latency_s", (env.now - started) / 2
+                )
 
     def server():
         try:
@@ -229,6 +266,10 @@ def run_pingpong(
     if echo.is_alive:
         echo.interrupt("measurement over")
     env.run(until=env.now)
-    return PingPongResult(
+    result = PingPongResult(
         latencies=latencies, rounds=rounds, message_bytes=message_bytes
     )
+    if tracer is not None and len(tracer) > trace_mark:
+        result.breakdown = tracer.breakdown(start=trace_mark)
+    _registry.counter_inc("repro.bench.pingpong.runs")
+    return result

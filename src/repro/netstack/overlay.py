@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from ..errors import RoutingError
 from ..sim.resources import Store
+from ..telemetry import tracer as _tracer
 from .packet import EndpointAddr, Message, segment_count
 from .routing import RouteTable
 
@@ -96,7 +97,12 @@ class OverlayRouter:
         while True:
             message = yield self._queue.get()
             assert message.dst is not None, "router needs a destination"
+            trace = (message.meta.get("trace")
+                     if _tracer.ACTIVE is not None else None)
+            mark = self.env.now
             yield from self.host.cpu.execute(self.service_cycles(message.size_bytes))
+            if trace is not None:
+                trace.add("overlay", mark, self.env.now)
             self.messages_routed += 1
             self.bytes_routed += message.size_bytes
             self._forward(message)
@@ -131,12 +137,24 @@ class OverlayRouter:
         while True:
             message = yield queue.get()
             yield self.env.timeout(self.spec.traversal_latency_s)
+            if (_tracer.ACTIVE is not None
+                    and message.meta.get("trace") is not None):
+                message.meta["wire_start"] = self.env.now
             yield from fabric.send(
                 self.host.nic,
                 peer.host.nic,
                 self.wire_bytes(message.size_bytes),
-                deliver=lambda m=message: peer.submit(m),
+                deliver=lambda m=message: self._off_wire(peer, m),
             )
+
+    def _off_wire(self, peer: "OverlayRouter", message: Message) -> None:
+        """Tunnel delivery into the peer router's ingress queue."""
+        if _tracer.ACTIVE is not None:
+            trace = message.meta.get("trace")
+            start = message.meta.pop("wire_start", None)
+            if trace is not None and start is not None:
+                trace.add("wire", start, self.env.now)
+        peer.submit(message)
 
     def _deliver_after(
         self, delay: float, deliver: Callable[[Message], None], message: Message

@@ -23,11 +23,13 @@ Three modes mirror the paper's taxonomy:
 from __future__ import annotations
 
 import enum
+from itertools import count
 from typing import TYPE_CHECKING, Optional
 
 from ..errors import TransportError
 from ..sim.monitor import StreamingSeries
 from ..sim.resources import Store, Tank
+from ..telemetry import tracer as _tracer
 from .bridge import SoftwareBridge
 from .overlay import OverlayRouter
 from .packet import EndpointAddr, Message, segment_count
@@ -63,6 +65,10 @@ class TcpStats:
         return self.messages
 
 
+#: Monotone ids for tracer flow labels ("tcp-<mode>/<id>").
+_flow_ids = count(1)
+
+
 class _Direction:
     """One direction of a duplex TCP connection (its own pipeline)."""
 
@@ -93,6 +99,9 @@ class _Direction:
         self.rx_queue: Store = Store(conn.env)
         self.inbox: Store = Store(conn.env)
         self.stats = TcpStats()
+        #: Tracer flow label (the kernel path is not a transport Lane, so
+        #: it labels its own flows).
+        self.flow = f"tcp-{conn.mode.value}/{next(_flow_ids)}"
         self._closed = False
         conn.env.process(self._rx_worker())
         if self._needs_tx_worker():
@@ -114,10 +123,25 @@ class _Direction:
         )
         message.sent_at = self.env.now
         self.stats.messages_sent += 1
+        tracer = _tracer.ACTIVE
+        trace = None
+        if tracer is not None:
+            trace = tracer.begin(self.flow, "tcp", self.env.now)
+            if trace is not None:
+                message.meta["trace"] = trace
         cycles = self._send_cycles(nbytes)
+        mark = self.env.now
         yield from self.src_host.cpu.execute(cycles)
+        if trace is not None:
+            trace.add("kernel", mark, self.env.now)
+            mark = self.env.now
         yield self.window.put(max(1, nbytes))
+        if trace is not None:
+            trace.add("queue", mark, self.env.now)
+            mark = self.env.now
         yield self.env.timeout(self.kernel.stack_latency_s)
+        if trace is not None:
+            trace.add("kernel", mark, self.env.now)
         self._dispatch(message)
         return message
 
@@ -156,12 +180,28 @@ class _Direction:
                     f"hosts {self.src_host.name}/{self.dst_host.name} share no fabric"
                 )
             wire = self.kernel.wire_bytes(message.size_bytes)
+            if self._trace_of(message) is not None:
+                message.meta["wire_start"] = self.env.now
             yield from fabric.send(
                 self.src_host.nic,
                 self.dst_host.nic,
                 wire,
-                deliver=lambda m=message: self.rx_queue.put(m),
+                deliver=lambda m=message: self._off_wire(m),
             )
+
+    def _trace_of(self, message: Message):
+        if _tracer.ACTIVE is None:
+            return None
+        return message.meta.get("trace")
+
+    def _off_wire(self, message: Message) -> None:
+        """The device layer delivered the frame into the receiver's NIC."""
+        trace = self._trace_of(message)
+        if trace is not None:
+            start = message.meta.pop("wire_start", None)
+            if start is not None:
+                trace.add("wire", start, self.env.now)
+        self.rx_queue.put(message)
 
     def _router_deliver(self, message: Message) -> None:
         """Entry point the destination overlay router delivers into."""
@@ -173,10 +213,14 @@ class _Direction:
         """Receiver softirq + copy-to-user stage (serial per connection)."""
         while True:
             message = yield self.rx_queue.get()
+            trace = self._trace_of(message)
+            mark = self.env.now
             cycles = self._recv_cycles(message.size_bytes)
             yield from self.dst_host.cpu.execute(cycles)
             yield self.env.timeout(self.kernel.stack_latency_s)
             yield self.window.get(max(1, message.size_bytes))
+            if trace is not None:
+                trace.add("kernel", mark, self.env.now)
             message.delivered_at = self.env.now
             self.stats.messages += 1
             self.stats.payload_bytes += message.size_bytes
@@ -198,6 +242,11 @@ class _Direction:
     def recv(self):
         """Receiver-side blocking read (generator)."""
         message = yield self.inbox.get()
+        tracer = _tracer.ACTIVE
+        if tracer is not None:
+            trace = message.meta.get("trace")
+            if trace is not None:
+                tracer.finish(trace, self.env.now)
         return message
 
     def close(self) -> None:

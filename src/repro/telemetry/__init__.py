@@ -1,0 +1,92 @@
+"""Unified telemetry for the FreeFlow reproduction (tracing + metrics).
+
+Three cooperating components, each with its own module-level ``ACTIVE``
+handle so hot paths can gate on a single pointer compare:
+
+* :mod:`~repro.telemetry.tracer` — span-based flow tracer recording
+  per-hop sim-time segments for sampled messages;
+* :mod:`~repro.telemetry.registry` — one queryable namespace of
+  counters/gauges/histograms over every layer's stats;
+* :mod:`~repro.telemetry.events` — structured control-plane event log
+  (mechanism decisions, attaches, migrations, failures).
+
+Use :func:`session` to enable all three for a measurement::
+
+    with telemetry.session(sample_rate=1.0, seed=7) as t:
+        result = run_pingpong(env, a, b)
+        print(export.format_breakdown(t.tracer.breakdown()))
+
+Outside a session everything is disabled and the instrumentation hooks
+cost one module-attribute load per message (see ``bench_telemetry.py``
+for the measured overhead at 0%/1%/100% sampling).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from . import events as events_module
+from . import registry as registry_module
+from . import tracer as tracer_module
+from .events import ControlEvent, EventLog
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import SEGMENT_ORDER, MessageTrace, Tracer
+
+__all__ = [
+    "Tracer",
+    "MessageTrace",
+    "SEGMENT_ORDER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EventLog",
+    "ControlEvent",
+    "TelemetrySession",
+    "session",
+]
+
+
+@dataclass(frozen=True)
+class TelemetrySession:
+    """Handles to the three active telemetry components."""
+
+    tracer: Tracer
+    registry: MetricsRegistry
+    events: EventLog
+
+
+@contextmanager
+def session(
+    sample_rate: float = 1.0,
+    seed: int = 0x7E1E,
+    max_traces_per_flow: int = 512,
+    event_capacity: int = 4096,
+):
+    """Enable tracer + registry + event log for the ``with`` body.
+
+    Restores whatever was active before on exit, so sessions nest and
+    tests cannot leak telemetry state into each other.
+    """
+    previous = (
+        tracer_module.ACTIVE,
+        registry_module.ACTIVE,
+        events_module.ACTIVE,
+    )
+    handle = TelemetrySession(
+        tracer=Tracer(sample_rate, seed, max_traces_per_flow),
+        registry=MetricsRegistry(),
+        events=EventLog(event_capacity),
+    )
+    tracer_module.ACTIVE = handle.tracer
+    registry_module.ACTIVE = handle.registry
+    events_module.ACTIVE = handle.events
+    try:
+        yield handle
+    finally:
+        (
+            tracer_module.ACTIVE,
+            registry_module.ACTIVE,
+            events_module.ACTIVE,
+        ) = previous

@@ -1,0 +1,102 @@
+"""Control-plane event log: what the orchestrator/agents decided, when.
+
+The data-plane tracer answers "where did this message's time go"; this
+log answers "why is the data plane shaped like this" — which mechanism
+the policy engine chose for a flow, when a container attached or
+migrated, when a host failed and which connections it took down.  Events
+are structured (kind + flat field dict) and stamped with sim time, so
+they line up with trace timestamps and throughput timelines.
+
+Like the tracer and registry, the log is enabled per session via a
+module-level ``ACTIVE`` handle; every emit site pays one compare when
+disabled.  Storage is a bounded ring (oldest events evicted first) so a
+long-running experiment cannot grow without bound; evictions are counted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ACTIVE", "ControlEvent", "EventLog", "emit", "enable", "disable"]
+
+#: The currently active event log, or None when disabled.
+ACTIVE: Optional["EventLog"] = None
+
+
+@dataclass(slots=True)
+class ControlEvent:
+    """One structured control-plane event."""
+
+    time_s: float
+    kind: str
+    fields: dict = field(default_factory=dict)
+
+    def as_record(self) -> dict:
+        """Flat dict for the JSON-lines exporter (stable key order)."""
+        record = {"time_s": self.time_s, "kind": self.kind}
+        record.update(sorted(self.fields.items()))
+        return record
+
+
+class EventLog:
+    """Bounded, ordered store of :class:`ControlEvent` records."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("event log capacity must be positive")
+        self.capacity = capacity
+        self._events: deque[ControlEvent] = deque(maxlen=capacity)
+        #: Events evicted because the ring was full.
+        self.evicted = 0
+
+    def emit(self, time_s: float, kind: str, **fields) -> ControlEvent:
+        event = ControlEvent(time_s, kind, fields)
+        if len(self._events) == self.capacity:
+            self.evicted += 1
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> list[ControlEvent]:
+        return list(self._events)
+
+    def of_kind(self, kind: str) -> list[ControlEvent]:
+        return [event for event in self._events if event.kind == kind]
+
+    def kinds(self) -> dict[str, int]:
+        """Event counts by kind (quick control-plane activity summary)."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+
+def emit(env, kind: str, **fields) -> None:
+    """Emit one event against the active log (no-op when disabled).
+
+    ``env`` supplies the sim timestamp — every control-plane emitter
+    already holds its Environment, and passing it (rather than a float)
+    keeps call sites one expression.
+    """
+    log = ACTIVE
+    if log is not None:
+        log.emit(env.now, kind, **fields)
+
+
+def enable(capacity: int = 4096) -> EventLog:
+    """Install (and return) a fresh event log as the active one."""
+    global ACTIVE
+    ACTIVE = EventLog(capacity)
+    return ACTIVE
+
+
+def disable() -> Optional[EventLog]:
+    """Remove the active event log (returns it, for inspection)."""
+    global ACTIVE
+    log, ACTIVE = ACTIVE, None
+    return log

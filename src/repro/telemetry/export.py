@@ -1,0 +1,145 @@
+"""Exporters: telemetry state as JSON-lines or aligned text tables.
+
+JSON-lines is the machine-readable artifact (one self-describing record
+per line, keys sorted — byte-stable for a deterministic sim, which the
+golden-file test relies on); the table formatters are what the
+``python -m repro trace`` demo and benchmark summaries print.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .events import EventLog
+from .registry import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = [
+    "jsonl",
+    "write_jsonl",
+    "registry_records",
+    "event_records",
+    "trace_records",
+    "format_breakdown",
+    "format_registry",
+]
+
+
+# -- JSON-lines ------------------------------------------------------------
+
+
+def jsonl(records: Iterable[dict]) -> str:
+    """Records as one JSON object per line (keys sorted, compact)."""
+    return "\n".join(
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in records
+    )
+
+
+def write_jsonl(path, records: Iterable[dict]) -> int:
+    """Write records to ``path``; returns the number of lines written."""
+    records = list(records)
+    Path(path).write_text(jsonl(records) + ("\n" if records else ""))
+    return len(records)
+
+
+def registry_records(registry: MetricsRegistry) -> list[dict]:
+    """One record per metric: ``{"metric": name, ...value/summary}``."""
+    records = []
+    for name, value in registry.snapshot().items():
+        if isinstance(value, dict):
+            records.append({"metric": name, "type": "histogram", **value})
+        else:
+            records.append({"metric": name, "type": "scalar",
+                            "value": value})
+    return records
+
+
+def event_records(log: EventLog) -> list[dict]:
+    """One record per control-plane event, in emission order."""
+    return [
+        {"event": event.kind, **event.as_record()}
+        for event in log.events
+    ]
+
+
+def trace_records(tracer: Tracer, start: int = 0) -> list[dict]:
+    """One aggregate record per flow (count, mean total, segment means)."""
+    return [
+        {
+            "flow": flow,
+            "count": aggregate["count"],
+            "mean_total_s": aggregate["mean_total_s"],
+            "segments": aggregate["segments"],
+        }
+        for flow, aggregate in tracer.by_flow(start=start).items()
+    ]
+
+
+# -- aligned tables --------------------------------------------------------
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(headers[i].ljust(widths[i]) for i in range(len(headers))),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                (row[i].ljust(widths[i]) if i == 0 else
+                 row[i].rjust(widths[i]))
+                for i in range(len(row))
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_breakdown(aggregate: dict, label: str = "flow") -> str:
+    """Aligned per-segment table for one :meth:`Tracer.breakdown` result.
+
+    Columns: segment name, mean microseconds, share of the total.  The
+    final row is the end-to-end total, which the segments sum to exactly
+    (gaps are attributed to ``wait`` by construction).
+    """
+    total = aggregate["mean_total_s"]
+    rows = []
+    for name, seconds in aggregate["segments"].items():
+        share = (100.0 * seconds / total) if total > 0 else 0.0
+        rows.append([name, f"{seconds * 1e6:.3f}", f"{share:.1f}%"])
+    rows.append(["total", f"{total * 1e6:.3f}", "100.0%"])
+    header = f"{label}  (n={aggregate['count']})"
+    return "\n".join([header,
+                      _table(["segment", "mean us", "share"], rows)])
+
+
+def format_registry(
+    registry: MetricsRegistry, prefix: str = "", limit: Optional[int] = None
+) -> str:
+    """Aligned name/value table of a registry snapshot."""
+    rows = []
+    for name, value in registry.snapshot().items():
+        if prefix and not name.startswith(prefix):
+            continue
+        if isinstance(value, dict):
+            if value.get("count"):
+                rendered = (f"n={value['count']:.0f} "
+                            f"mean={value['mean']:.3e} "
+                            f"p99={value['p99']:.3e}")
+            else:
+                rendered = "n=0"
+        elif float(value) == int(value):
+            rendered = f"{value:.0f}"
+        else:
+            rendered = f"{value:.4f}"
+        rows.append([name, rendered])
+        if limit is not None and len(rows) >= limit:
+            break
+    return _table(["metric", "value"], rows)

@@ -15,16 +15,22 @@ land on the :class:`~repro.netstack.packet.Message` for measurement.
 from __future__ import annotations
 
 import enum
+from itertools import count
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..netstack.packet import EndpointAddr, Message
 from ..sim.monitor import StreamingSeries
 from ..sim.resources import Store
+from ..telemetry import registry as _registry
+from ..telemetry import tracer as _tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.scheduler import Environment
 
 __all__ = ["Mechanism", "LaneStats", "Lane", "ChannelEnd", "DuplexChannel"]
+
+#: Monotone lane ids: the default flow label is "<mechanism>/<id>".
+_lane_ids = count(1)
 
 
 class Mechanism(enum.Enum):
@@ -69,7 +75,8 @@ class Lane:
     message reaches the destination endpoint.
     """
 
-    __slots__ = ("env", "mechanism", "inbox", "stats", "closed", "on_deliver")
+    __slots__ = ("env", "mechanism", "inbox", "stats", "closed", "on_deliver",
+                 "flow")
 
     def __init__(self, env: "Environment", mechanism: Mechanism) -> None:
         self.env = env
@@ -80,6 +87,12 @@ class Lane:
         #: Hook invoked on each delivery (used by the migration machinery
         #: and by tests that need to observe the exact delivery instant).
         self.on_deliver: Optional[Callable[[Message], None]] = None
+        #: Flow label the tracer keys traces by; connection owners may
+        #: overwrite it with something meaningful ("web->db").
+        self.flow = f"{mechanism.value}/{next(_lane_ids)}"
+        registry = _registry.ACTIVE
+        if registry is not None:
+            registry.register_lane(self)
 
     def make_message(
         self,
@@ -91,7 +104,27 @@ class Lane:
         message = Message(size_bytes=nbytes, src=src, dst=dst, payload=payload)
         message.sent_at = self.env.now
         self.stats.messages_sent += 1
+        tracer = _tracer.ACTIVE
+        if tracer is not None:
+            trace = tracer.begin(self.flow, self.mechanism.value,
+                                 self.env.now)
+            if trace is not None:
+                message.meta["trace"] = trace
         return message
+
+    def _trace_of(self, message: Message):
+        """The message's open trace, or None (one compare when disabled)."""
+        if _tracer.ACTIVE is None:
+            return None
+        return message.meta.get("trace")
+
+    def _finish_trace(self, message: Message) -> None:
+        """Close the message's trace at receive time (idempotent)."""
+        tracer = _tracer.ACTIVE
+        if tracer is not None:
+            trace = message.meta.get("trace")
+            if trace is not None:
+                tracer.finish(trace, self.env.now)
 
     def send(self, nbytes: int, payload: Any = None):
         """Push one message into the lane (generator). Must be overridden."""
@@ -108,6 +141,7 @@ class Lane:
     def recv(self):
         """Blocking receive (generator)."""
         message = yield self.inbox.get()
+        self._finish_trace(message)
         return message
 
     def eject_receivers(self, exception: BaseException) -> None:

@@ -114,15 +114,34 @@ class DpdkLane(Lane):
         if self.closed:
             raise TransportUnavailable("DPDK channel closed")
         message = self.make_message(nbytes, payload)
+        trace = self._trace_of(message)
+        mark = self.env.now
         yield from self.src_host.cpu.execute(150.0)  # lockless ring enqueue
+        if trace is not None:
+            trace.add("post", mark, self.env.now)
+            mark = self.env.now
         yield self.window.put(max(1, nbytes))
+        if trace is not None:
+            trace.add("queue", mark, self.env.now)
+            message.meta["nic_start"] = self.env.now
         self.src_engine.submit(message, lambda m=message: self._after_tx(m))
         return message
 
+    def _close_span(self, message: "Message", name: str, key: str) -> None:
+        """Close a span opened in ``message.meta`` by an earlier stage."""
+        trace = self._trace_of(message)
+        if trace is not None:
+            start = message.meta.pop(key, None)
+            if start is not None:
+                trace.add(name, start, self.env.now)
+
     def _after_tx(self, message: "Message") -> None:
         """TX PMD finished the copy: put the message on the wire."""
+        self._close_span(message, "nic", "nic_start")
         if self.loopback:
-            self.dst_engine.submit(message, lambda m=message: self.deliver(m))
+            if self._trace_of(message) is not None:
+                message.meta["nic_start"] = self.env.now
+            self.dst_engine.submit(message, lambda m=message: self._rx_landed(m))
             return
         self._wire_queue.put(message)
 
@@ -136,19 +155,36 @@ class DpdkLane(Lane):
                     f"{self.src_host.name} is not attached to a fabric"
                 )
             wire = self.src_host.spec.kernel.wire_bytes(message.size_bytes)
+            if self._trace_of(message) is not None:
+                message.meta["wire_start"] = self.env.now
             yield from fabric.send(
                 self.src_host.nic,
                 self.dst_host.nic,
                 wire,
-                deliver=lambda m=message: self.dst_engine.submit(
-                    m, lambda mm=m: self.deliver(mm)
-                ),
+                deliver=lambda m=message: self._off_wire(m),
             )
+
+    def _off_wire(self, message: "Message") -> None:
+        """The wire delivered into the destination PMD's RX ring."""
+        self._close_span(message, "wire", "wire_start")
+        if self._trace_of(message) is not None:
+            message.meta["nic_start"] = self.env.now
+        self.dst_engine.submit(message, lambda m=message: self._rx_landed(m))
+
+    def _rx_landed(self, message: "Message") -> None:
+        """RX PMD copied the message into the application ring."""
+        self._close_span(message, "nic", "nic_start")
+        self.deliver(message)
 
     def recv(self):
         message = yield self.inbox.get()
+        trace = self._trace_of(message)
+        mark = self.env.now
         yield from self.dst_host.cpu.execute(150.0)  # ring dequeue
         yield self.window.get(max(1, message.size_bytes))
+        if trace is not None:
+            trace.add("consume", mark, self.env.now)
+        self._finish_trace(message)
         return message
 
 

@@ -68,18 +68,30 @@ class RdmaLane(Lane):
         if self.closed:
             raise TransportUnavailable("RDMA connection closed")
         message = self.make_message(nbytes, payload)
+        trace = self._trace_of(message)
+        mark = self.env.now
         yield from self.src_host.cpu.execute(self.src_host.nic.spec.rdma_post_cycles)
+        if trace is not None:
+            trace.add("post", mark, self.env.now)
+            mark = self.env.now
         yield self.window.put(max(1, nbytes))
+        if trace is not None:
+            trace.add("queue", mark, self.env.now)
         self._sq.put(message)
         return message
 
     def recv(self):
         """Blocking receive; frees the flow-control window."""
         message = yield self.inbox.get()
+        trace = self._trace_of(message)
+        mark = self.env.now
         yield from self.dst_host.cpu.execute(
             self.dst_host.nic.spec.rdma_poll_cycles
         )
         yield self.window.get(max(1, message.size_bytes))
+        if trace is not None:
+            trace.add("consume", mark, self.env.now)
+        self._finish_trace(message)
         return message
 
     # -- NIC pipeline -----------------------------------------------------------------
@@ -89,8 +101,16 @@ class RdmaLane(Lane):
         nic = self.src_host.nic
         while True:
             message = yield self._sq.get()
+            trace = self._trace_of(message)
+            mark = self.env.now
             yield from nic.engine_service(message.size_bytes)
             yield self.env.timeout(nic.spec.dma_latency_s)
+            if trace is not None:
+                trace.add("nic", mark, self.env.now)
+                # Close the wire span when the payload actually lands on
+                # the far NIC (the deliver callback), not when the
+                # overlapped DMA/wire barrier below resolves.
+                message.meta["wire_start"] = self.env.now
             yield from self._dma_and_wire(message)
 
     def _dma_and_wire(self, message: "Message"):
@@ -100,7 +120,7 @@ class RdmaLane(Lane):
         if self.loopback:
             # Hairpin through the NIC's internal path at wire rate.
             wire_done = self.env.process(
-                self._loopback_wire(wire, lambda: self._rx.put(message))
+                self._loopback_wire(wire, lambda: self._remote_rx(message))
             )
         else:
             fabric = self.src_host.fabric
@@ -126,6 +146,11 @@ class RdmaLane(Lane):
         )
 
     def _remote_rx(self, message: "Message") -> None:
+        trace = self._trace_of(message)
+        if trace is not None:
+            start = message.meta.pop("wire_start", None)
+            if start is not None:
+                trace.add("wire", start, self.env.now)
         self._rx.put(message)
 
     def _nic_rx_worker(self):
@@ -133,9 +158,13 @@ class RdmaLane(Lane):
         nic = self.dst_host.nic
         while True:
             message = yield self._rx.get()
+            trace = self._trace_of(message)
+            mark = self.env.now
             yield from nic.engine_service(message.size_bytes)
             yield self.env.timeout(nic.spec.dma_latency_s)
             yield from self.dst_host.dma(message.size_bytes)
+            if trace is not None:
+                trace.add("nic", mark, self.env.now)
             self.deliver(message)
 
 

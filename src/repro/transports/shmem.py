@@ -62,11 +62,23 @@ class ShmLane(Lane):
         # the right one even if the message is transplanted to a new
         # channel during a live migration.
         message.meta["ring"] = self.ring
+        trace = self._trace_of(message)
+        mark = self.env.now
         yield from self.host.cpu.execute(self.spec.per_message_cycles)
         yield self.ring.put(max(1, nbytes))
+        if trace is not None:
+            trace.add("queue", mark, self.env.now)
+            mark = self.env.now
         yield from self.host.memcpy(nbytes)
+        if trace is not None:
+            trace.add("copy", mark, self.env.now)
+            mark = self.env.now
         yield from self.host.cpu.execute(self.spec.notify_cycles)
         yield self.env.timeout(self.spec.notify_latency_s)
+        if trace is not None:
+            # The futex-style receiver wakeup is the shm path's only
+            # kernel involvement.
+            trace.add("kernel", mark, self.env.now)
         if self._rx_queue is None:
             self.deliver(message)
         else:
@@ -78,15 +90,24 @@ class ShmLane(Lane):
         assert self._rx_queue is not None
         while True:
             message = yield self._rx_queue.get()
+            trace = self._trace_of(message)
+            mark = self.env.now
             yield from self.host.memcpy(message.size_bytes)
+            if trace is not None:
+                trace.add("copy", mark, self.env.now)
             self.deliver(message)
 
     def recv(self):
         """Consume the next message and free its ring space."""
         message = yield self.inbox.get()
+        trace = self._trace_of(message)
+        mark = self.env.now
         yield from self.host.cpu.execute(self.spec.per_message_cycles)
         ring = message.meta.pop("ring", self.ring)
         yield ring.get(max(1, message.size_bytes))
+        if trace is not None:
+            trace.add("consume", mark, self.env.now)
+        self._finish_trace(message)
         return message
 
     def close(self) -> None:

@@ -51,6 +51,7 @@ class TcpLane(Lane):
 
     def recv(self):
         message = yield self.inbox.get()
+        self._finish_trace(message)
         return message
 
 

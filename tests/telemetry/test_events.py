@@ -1,0 +1,103 @@
+"""Control-plane event log: ring semantics + emission from the stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ContainerSpec, quickstart_cluster, telemetry
+from repro.sim import Environment
+from repro.telemetry import EventLog
+from repro.telemetry import events as events_module
+
+
+class _FakeEnv:
+    def __init__(self, now: float) -> None:
+        self.now = now
+
+
+# -- ring semantics ---------------------------------------------------------
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        EventLog(capacity=0)
+
+
+def test_eviction_keeps_newest_and_counts():
+    log = EventLog(capacity=3)
+    for i in range(5):
+        log.emit(float(i), "tick", index=i)
+    assert len(log) == 3
+    assert log.evicted == 2
+    assert [event.fields["index"] for event in log.events] == [2, 3, 4]
+
+
+def test_of_kind_and_kinds():
+    log = EventLog()
+    log.emit(0.0, "a")
+    log.emit(1.0, "b", x=1)
+    log.emit(2.0, "a")
+    assert log.kinds() == {"a": 2, "b": 1}
+    assert [event.time_s for event in log.of_kind("a")] == [0.0, 2.0]
+
+
+def test_as_record_is_flat_and_sorted():
+    log = EventLog()
+    event = log.emit(1.5, "policy.decision", zeta="z", alpha="a")
+    assert list(event.as_record()) == ["time_s", "kind", "alpha", "zeta"]
+
+
+def test_module_emit_noops_when_disabled():
+    assert events_module.ACTIVE is None
+    events_module.emit(_FakeEnv(1.0), "ignored", x=1)  # must not raise
+    with telemetry.session() as handle:
+        events_module.emit(_FakeEnv(2.0), "seen", x=1)
+        assert handle.events.kinds() == {"seen": 1}
+    assert events_module.ACTIVE is None
+
+
+# -- emission from the real control plane -----------------------------------
+
+
+def test_cluster_and_network_emit_lifecycle_events():
+    with telemetry.session() as handle:
+        env, cluster, network = quickstart_cluster(hosts=2)
+        a = cluster.submit(ContainerSpec("a", pinned_host="host0"))
+        b = cluster.submit(ContainerSpec("b", pinned_host="host1"))
+        network.attach(a)
+        network.attach(b)
+
+        def wire():
+            connection = yield from network.connect_containers("a", "b")
+            return connection
+
+        env.run(until=env.process(wire()))
+        kinds = handle.events.kinds()
+    assert kinds["container.submit"] == 2
+    assert kinds["container.register"] == 2
+    assert kinds["container.attach"] == 2
+    assert kinds["policy.decision"] >= 1
+    assert kinds["flow.connect"] == 1
+    decision = handle.events.of_kind("policy.decision")[0]
+    assert decision.fields["mechanism"] == "rdma"  # cross-host pair
+    assert {"src", "dst", "reason"} <= set(decision.fields)
+
+
+def test_events_are_stamped_with_sim_time():
+    with telemetry.session() as handle:
+        env, cluster, network = quickstart_cluster(hosts=1)
+        a = cluster.submit(ContainerSpec("a", pinned_host="host0"))
+        b = cluster.submit(ContainerSpec("b", pinned_host="host0"))
+        network.attach(a)
+        network.attach(b)
+
+        def wire():
+            connection = yield from network.connect_containers("a", "b")
+            return connection
+
+        env.run(until=env.process(wire()))
+        times = [event.time_s for event in handle.events.events]
+        assert times == sorted(times)
+        # connect_containers pays the orchestrator RPC latency, so the
+        # flow.connect event lands strictly after t=0.
+        assert handle.events.of_kind("flow.connect")[0].time_s > 0.0

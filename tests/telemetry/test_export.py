@@ -1,0 +1,110 @@
+"""Exporter tests, including the byte-stable JSON-lines golden file.
+
+The golden scenario is a fixed-seed shm ping-pong.  Flow labels carry a
+process-global lane counter (``shm/7``), so records are normalised to
+the mechanism name before comparison — everything else (timings, counts,
+registry values) is deterministic and compared byte-for-byte.
+
+Regenerate after an intentional telemetry/transport timing change with::
+
+    PYTHONPATH=src python tests/telemetry/test_export.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import telemetry
+from repro.hardware import Fabric, Host
+from repro.metrics import run_pingpong
+from repro.sim import Environment
+from repro.telemetry import export
+from repro.transports import ShmChannel
+
+GOLDEN = Path(__file__).parent / "golden_pingpong.jsonl"
+
+
+def _normalise_flow(name: str) -> str:
+    return name.split("/")[0]
+
+
+def golden_records() -> list[dict]:
+    """The golden scenario: 5 fully-traced shm ping-pong rounds."""
+    env = Environment()
+    host = Host(env, "h0", fabric=Fabric(env))
+    with telemetry.session(sample_rate=1.0, seed=1234) as handle:
+        channel = ShmChannel(host)
+        run_pingpong(env, channel.a, channel.b, rounds=5, warmup_rounds=0)
+        telemetry.events_module.emit(env, "demo.marker", note="golden")
+        records = []
+        for record in export.trace_records(handle.tracer):
+            record = dict(record)
+            record["flow"] = _normalise_flow(record["flow"])
+            records.append(record)
+        records.extend(export.event_records(handle.events))
+        # Histogram reservoirs and gauge closures are deterministic for
+        # this workload; counters/gauges are exact.
+        records.extend(export.registry_records(handle.registry))
+    return records
+
+
+def test_jsonl_is_compact_sorted_and_one_record_per_line():
+    text = export.jsonl([{"b": 1, "a": 2}, {"x": [1, 2]}])
+    assert text == '{"a":2,"b":1}\n{"x":[1,2]}'
+
+
+def test_write_jsonl_round_trips(tmp_path):
+    path = tmp_path / "out.jsonl"
+    records = [{"a": 1}, {"b": 2.5}]
+    assert export.write_jsonl(path, records) == 2
+    lines = path.read_text().splitlines()
+    assert [json.loads(line) for line in lines] == records
+    assert export.write_jsonl(path, []) == 0
+    assert path.read_text() == ""
+
+
+def test_golden_jsonl_is_byte_stable():
+    text = export.jsonl(golden_records()) + "\n"
+    assert text == GOLDEN.read_text(), (
+        "telemetry JSON-lines output changed; if intentional, regenerate "
+        "with: PYTHONPATH=src python tests/telemetry/test_export.py "
+        "--regenerate"
+    )
+
+
+def test_format_breakdown_totals_to_100_percent():
+    env = Environment()
+    host = Host(env, "h0", fabric=Fabric(env))
+    with telemetry.session() as handle:
+        channel = ShmChannel(host)
+        run_pingpong(env, channel.a, channel.b, rounds=5, warmup_rounds=0)
+        table = export.format_breakdown(handle.tracer.breakdown(),
+                                        label="shm")
+    lines = table.splitlines()
+    assert lines[0].startswith("shm  (n=")
+    assert lines[1].split() == ["segment", "mean", "us", "share"]
+    assert lines[-1].split()[0] == "total"
+    assert lines[-1].split()[-1] == "100.0%"
+
+
+def test_format_registry_renders_scalars_and_histograms():
+    env = Environment()
+    host = Host(env, "h0", fabric=Fabric(env))
+    with telemetry.session() as handle:
+        channel = ShmChannel(host)
+        run_pingpong(env, channel.a, channel.b, rounds=5, warmup_rounds=0)
+        table = export.format_registry(handle.registry, prefix="repro.lane.")
+    assert "repro.lane.shm.messages_delivered" in table
+    assert "repro.lane.shm.latency_s" in table
+    assert "n=10" in table  # histogram summary rendering
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        GOLDEN.write_text(export.jsonl(golden_records()) + "\n")
+        print(f"wrote {GOLDEN}")
+    else:
+        print(__doc__)

@@ -1,0 +1,78 @@
+"""Harness integration: result breakdowns + strict in-flight accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.hardware import Fabric, Host
+from repro.metrics import _pair_in_flight, run_pingpong, run_stream
+from repro.sim import Environment
+from repro.transports import ShmChannel
+
+
+def _shm_channel(env):
+    return ShmChannel(Host(env, "h0", fabric=Fabric(env)))
+
+
+def test_pingpong_result_carries_breakdown():
+    env = Environment()
+    channel = _shm_channel(env)
+    with telemetry.session():
+        result = run_pingpong(env, channel.a, channel.b,
+                              rounds=10, warmup_rounds=2)
+    assert result.breakdown is not None
+    # Scoped to measured rounds: 10 each way, warmup excluded.
+    assert result.breakdown["count"] == 20
+    assert result.breakdown["segments"]
+
+
+def test_stream_result_carries_breakdown():
+    env = Environment()
+    channel = _shm_channel(env)
+    hosts = [channel.a._out.host] if hasattr(channel.a._out, "host") else []
+    with telemetry.session():
+        result = run_stream(env, [(channel.a, channel.b)],
+                            duration_s=0.002, hosts=hosts)
+    assert result.breakdown is not None
+    assert result.breakdown["count"] > 0
+    assert result.gbps > 0
+
+
+def test_results_have_no_breakdown_when_disabled():
+    env = Environment()
+    channel = _shm_channel(env)
+    result = run_pingpong(env, channel.a, channel.b,
+                          rounds=5, warmup_rounds=0)
+    assert result.breakdown is None
+
+
+# -- satellite: _pair_in_flight must reject unknown endpoint shapes ---------
+
+
+def test_pair_in_flight_counts_lane_endpoints():
+    env = Environment()
+    channel = _shm_channel(env)
+    assert _pair_in_flight(channel.a, channel.b) == 0
+
+
+def test_pair_in_flight_rejects_unknown_endpoints():
+    class Mystery:
+        pass
+
+    with pytest.raises(TypeError, match="cannot count in-flight"):
+        _pair_in_flight(Mystery(), Mystery())
+
+
+def test_pair_in_flight_rejects_partial_stats():
+    class HalfStats:
+        messages_sent = 3  # no messages_delivered
+
+    class HalfLaneEnd:
+        class _OutLane:
+            stats = HalfStats()
+
+        _out = _OutLane()
+
+    with pytest.raises(TypeError, match="cannot count in-flight"):
+        _pair_in_flight(HalfLaneEnd(), HalfLaneEnd())
