@@ -104,10 +104,22 @@ class KeyValueStore:
         for key in self.keys(prefix):
             yield key, self._data[key]
 
-    def watch(self, prefix: str = "") -> Watch:
-        """Subscribe to future changes under ``prefix``."""
+    def watch(self, prefix: str = "", include_existing: bool = False) -> Watch:
+        """Subscribe to future changes under ``prefix``.
+
+        With ``include_existing=True`` the current state under the prefix
+        is replayed into the queue first, as synthetic PUT events at the
+        store's current revision — an etcd-style "watch from revision 0".
+        Reconcilers use this so a late subscriber still sees every key it
+        is responsible for, through the same queue as live changes.
+        """
         watch = Watch(self, prefix)
         self._watches.add(watch)
+        if include_existing:
+            for key in self.keys(prefix):
+                watch.queue.put(
+                    WatchEvent("put", key, self._data[key], self.revision)
+                )
         return watch
 
     def compare_and_put(self, key: str, expected: Any, value: Any) -> bool:

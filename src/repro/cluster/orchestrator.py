@@ -194,6 +194,14 @@ class ClusterOrchestrator:
             "rdma": host.rdma_capable,
             "dpdk": host.dpdk_capable,
         })
+        _events.emit(self.env, "host.recover", host=host_name)
+
+    def watch_hosts(self):
+        """Watch host liveness: a DELETE under ``/cluster/hosts/`` is a
+        host failure, a PUT is an admission or recovery.  This is the
+        feed the flow reconciler subscribes to (paper §2.1's
+        failure-mitigation story, made push-style)."""
+        return self.kv.watch("/cluster/hosts/")
 
     def is_host_up(self, host_name: str) -> bool:
         return host_name in self._hosts and host_name not in self._down_hosts

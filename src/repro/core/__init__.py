@@ -6,6 +6,13 @@ mechanism, the socket/MPI translations, and live migration support.
 """
 
 from .agent import AgentStats, FreeFlowAgent, RelayLane, build_channel
+from .flows import (
+    ChannelFactory,
+    ConnectionEnd,
+    FlowReconciler,
+    FlowState,
+    FlowTable,
+)
 from .middlebox import InspectedLane, Middlebox, wrap_channel
 from .migration import MigrationController, MigrationReport
 from .mpi import (
@@ -40,10 +47,15 @@ from .vnic import VNIC_POST_OVERHEAD_CYCLES, VirtualNic
 
 __all__ = [
     "AgentStats",
+    "ChannelFactory",
     "Communicator",
     "CompletionQueue",
+    "ConnectionEnd",
     "ContainerRecord",
     "FlowConnection",
+    "FlowReconciler",
+    "FlowState",
+    "FlowTable",
     "FreeFlowAgent",
     "FreeFlowListener",
     "FreeFlowNetwork",

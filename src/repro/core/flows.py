@@ -1,0 +1,746 @@
+"""The unified flow-lifecycle subsystem (paper §7, generalized).
+
+FreeFlow's control plane used to scatter connection lifecycle across the
+network facade, the migration controller and the failure handler: each
+mutated ``FlowConnection`` fields (``failed``, ``channel``, pause flags)
+directly, and each reimplemented half of pause → drain → rebind →
+resume.  This module centralizes all of it:
+
+* :class:`FlowState` / :class:`FlowTable` — an explicit per-flow state
+  machine (``RESOLVING → ACTIVE ⇄ PAUSED → BROKEN → REBINDING →
+  CLOSED``) with guarded transitions.  *Every* lifecycle change goes
+  through :meth:`FlowTable.transition`, which emits one
+  :data:`~repro.telemetry.events.FLOW_TRANSITION` control-plane event —
+  so a flow's whole history is reconstructable from the event log.
+  Closed flows leave the table (bounded memory, however many
+  connect/close cycles an experiment runs).
+
+* :class:`ChannelFactory` — owns the build pipeline (mechanism channel →
+  middlebox wrap → per-tenant rate-limit wrap) and the *transplant* of
+  delivered-but-unconsumed messages when a channel is swapped under a
+  live connection.
+
+* :class:`FlowReconciler` — a Kubernetes-controller-style loop that
+  watches the KV stores for container location changes, host liveness
+  and runtime NIC-capability changes, computes the affected flows from
+  the FlowTable, and drives pause → drain → re-resolve → rebind → resume
+  automatically.  The migration controller and the failure/repair paths
+  are thin clients of these primitives.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import ConnectionReset, FlowStateError, UnknownContainer
+from ..telemetry import events as _events
+from ..transports.base import DuplexChannel, Mechanism
+from .agent import build_channel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.scheduler import Environment
+    from .network import FreeFlowNetwork
+    from .policy import PolicyDecision
+    from .verbs import QueuePair
+
+__all__ = [
+    "FlowState",
+    "FlowConnection",
+    "ConnectionEnd",
+    "FlowTable",
+    "ChannelFactory",
+    "FlowReconciler",
+]
+
+
+class FlowState(enum.Enum):
+    """Lifecycle states of one container-to-container flow."""
+
+    RESOLVING = "resolving"  #: opened; policy/channel not yet in place
+    ACTIVE = "active"        #: channel live, senders admitted
+    PAUSED = "paused"        #: facade gate closed (migration downtime)
+    BROKEN = "broken"        #: an endpoint died; channel is reset
+    REBINDING = "rebinding"  #: channel being swapped underneath
+    CLOSED = "closed"        #: terminal; pruned from the table
+
+
+#: The legal transitions.  Anything else raises :class:`FlowStateError`
+#: — e.g. repairing a flow that never broke, or rebinding a closed flow.
+_LEGAL: dict[FlowState, frozenset] = {
+    FlowState.RESOLVING: frozenset(
+        {FlowState.ACTIVE, FlowState.BROKEN, FlowState.CLOSED}),
+    FlowState.ACTIVE: frozenset(
+        {FlowState.PAUSED, FlowState.BROKEN, FlowState.REBINDING,
+         FlowState.CLOSED}),
+    FlowState.PAUSED: frozenset(
+        {FlowState.ACTIVE, FlowState.BROKEN, FlowState.REBINDING,
+         FlowState.CLOSED}),
+    FlowState.BROKEN: frozenset(
+        {FlowState.REBINDING, FlowState.CLOSED}),
+    FlowState.REBINDING: frozenset(
+        {FlowState.ACTIVE, FlowState.PAUSED, FlowState.BROKEN,
+         FlowState.CLOSED}),
+    FlowState.CLOSED: frozenset(),
+}
+
+
+def _check_transition(flow: "FlowConnection",
+                      new_state: FlowState) -> FlowState:
+    old = flow.state
+    if new_state not in _LEGAL[old]:
+        raise FlowStateError(
+            f"flow {flow.flow_id}: illegal transition "
+            f"{old.value} -> {new_state.value}"
+        )
+    return old
+
+
+class ConnectionEnd:
+    """Migration-stable endpoint facade over a :class:`FlowConnection`.
+
+    Applications hold this object; it resolves the live channel on every
+    call, honours the connection's pause gate, and transparently retries
+    a receive that was ejected by a channel swap — which is what keeps
+    connections alive across live migrations (paper §7).
+    """
+
+    def __init__(self, connection: "FlowConnection", side: str) -> None:
+        if side not in ("a", "b"):
+            raise ValueError(f"side must be 'a' or 'b', got {side!r}")
+        self._connection = connection
+        self._side = side
+
+    def _end(self):
+        channel = self._connection.channel
+        return channel.a if self._side == "a" else channel.b
+
+    @property
+    def mechanism(self) -> Mechanism:
+        return self._end().mechanism
+
+    def send(self, nbytes: int, payload=None):
+        yield from self._connection.wait_if_paused()
+        result = yield from self._end().send(nbytes, payload)
+        return result
+
+    def recv(self):
+        from ..errors import ChannelRebound
+        while True:
+            yield from self._connection.wait_if_paused()
+            try:
+                message = yield from self._end().recv()
+                return message
+            except ChannelRebound:
+                continue
+
+
+class FlowConnection:
+    """One logical container-to-container flow the network tracks.
+
+    Tracking flows centrally — with an explicit state machine — is what
+    lets migration, failure handling and the reconciler rebind them when
+    an endpoint moves (paper §7, "Live migration").  All state changes
+    go through the owning :class:`FlowTable`; direct construction (for
+    tests) yields a standalone flow whose transitions are still guarded
+    but not logged.
+    """
+
+    def __init__(
+        self,
+        src_name: str,
+        dst_name: str,
+        channel: Optional[DuplexChannel],
+        decision: Optional["PolicyDecision"],
+        qp_a: Optional["QueuePair"] = None,
+        qp_b: Optional["QueuePair"] = None,
+        generation: int = 1,
+        flow_id: Optional[str] = None,
+        table: Optional["FlowTable"] = None,
+    ) -> None:
+        self.src_name = src_name
+        self.dst_name = dst_name
+        self.channel = channel
+        self.decision = decision
+        self.qp_a = qp_a
+        self.qp_b = qp_b
+        self.generation = generation
+        self.flow_id = flow_id or f"{src_name}->{dst_name}"
+        self.table = table
+        self.state = (
+            FlowState.ACTIVE if channel is not None else FlowState.RESOLVING
+        )
+        self.a = ConnectionEnd(self, "a")
+        self.b = ConnectionEnd(self, "b")
+        self._paused = False
+        self._resume_event = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FlowConnection {self.flow_id} {self.state.value} "
+                f"gen={self.generation}>")
+
+    @property
+    def mechanism(self) -> Mechanism:
+        return self.decision.mechanism
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @property
+    def failed(self) -> bool:
+        """Backward-compatible view: ``True`` while the flow is BROKEN."""
+        return self.state is FlowState.BROKEN
+
+    def _transition(self, new_state: FlowState, reason: str) -> None:
+        if self.table is not None:
+            self.table.transition(self, new_state, reason=reason)
+        else:
+            _check_transition(self, new_state)
+            self.state = new_state
+
+    def pause(self, env) -> None:
+        """Stop admitting new sends/recvs at the facade (migration)."""
+        if not self._paused:
+            self._paused = True
+            self._resume_event = env.event()
+            if self.state is FlowState.ACTIVE:
+                self._transition(FlowState.PAUSED, "pause")
+
+    def resume(self) -> None:
+        if self._paused:
+            self._paused = False
+            event, self._resume_event = self._resume_event, None
+            if event is not None:
+                event.succeed()
+            if self.state is FlowState.PAUSED:
+                self._transition(FlowState.ACTIVE, "resume")
+
+    def wait_if_paused(self):
+        """Generator: park until :meth:`resume` (no-op when running)."""
+        while self._paused:
+            yield self._resume_event
+
+    def in_flight(self) -> int:
+        """Messages accepted but not yet delivered, both directions."""
+        lanes = (self.channel.lane_ab, self.channel.lane_ba)
+        return sum(
+            lane.stats.messages_sent - lane.stats.messages_delivered
+            for lane in lanes
+        )
+
+    def close(self, reason: str = "close") -> None:
+        """Terminal transition (via the table when owned by one)."""
+        if self.table is not None:
+            self.table.close(self, reason=reason)
+        elif self.state is not FlowState.CLOSED:
+            self._transition(FlowState.CLOSED, reason)
+            if self.channel is not None:
+                self.channel.close()
+
+
+class FlowTable:
+    """The authoritative registry of live flows, with guarded transitions.
+
+    Closed flows are pruned (their ids disappear from the table and the
+    per-endpoint index), so long experiments that churn connections do
+    not grow memory — only the ``closed_total``/``transitions`` counters
+    remember them.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._flows: dict[str, FlowConnection] = {}
+        self._by_endpoint: dict[str, list[str]] = {}
+        self._seq = itertools.count(1)
+        #: Lifetime counters (survive pruning).
+        self.opened_total = 0
+        self.closed_total = 0
+        self.transitions = 0
+
+    # -- registry -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self):
+        return iter(list(self._flows.values()))
+
+    def __contains__(self, flow) -> bool:
+        if isinstance(flow, str):
+            return flow in self._flows
+        return self._flows.get(getattr(flow, "flow_id", None)) is flow
+
+    def get(self, flow_id: str) -> Optional[FlowConnection]:
+        return self._flows.get(flow_id)
+
+    def open_flows(self) -> list[FlowConnection]:
+        """Every non-closed flow, in creation order (BROKEN included)."""
+        return list(self._flows.values())
+
+    def flows_for(self, name: str) -> list[FlowConnection]:
+        """Non-closed flows with ``name`` as either endpoint."""
+        return [
+            self._flows[fid]
+            for fid in self._by_endpoint.get(name, ())
+            if fid in self._flows
+        ]
+
+    def count(self, state: FlowState) -> int:
+        return sum(1 for f in self._flows.values() if f.state is state)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def open(self, src_name: str, dst_name: str) -> FlowConnection:
+        """Create a flow in RESOLVING (no channel yet)."""
+        self.opened_total += 1
+        flow_id = f"f{next(self._seq)}:{src_name}->{dst_name}"
+        flow = FlowConnection(src_name, dst_name, None, None,
+                              flow_id=flow_id, table=self)
+        self._flows[flow_id] = flow
+        for name in {src_name, dst_name}:
+            self._by_endpoint.setdefault(name, []).append(flow_id)
+        self.transitions += 1
+        _events.emit_transition(
+            self.env, flow_id, src_name, dst_name,
+            "none", FlowState.RESOLVING.value, reason="open",
+        )
+        return flow
+
+    def activate(self, flow: FlowConnection, channel: DuplexChannel,
+                 decision: "PolicyDecision") -> FlowConnection:
+        """RESOLVING → ACTIVE once the channel pipeline is built."""
+        flow.channel = channel
+        flow.decision = decision
+        self.transition(flow, FlowState.ACTIVE, reason="connected")
+        return flow
+
+    def transition(self, flow: FlowConnection, new_state: FlowState,
+                   reason: str = "") -> FlowConnection:
+        """The single gate every state change passes through."""
+        old = _check_transition(flow, new_state)
+        flow.state = new_state
+        self.transitions += 1
+        _events.emit_transition(
+            self.env, flow.flow_id, flow.src_name, flow.dst_name,
+            old.value, new_state.value, reason=reason,
+            generation=flow.generation,
+        )
+        if new_state is FlowState.CLOSED:
+            self.closed_total += 1
+            self._forget(flow)
+        return flow
+
+    def close(self, flow: FlowConnection, reason: str = "close") -> None:
+        """Terminal transition + channel teardown (idempotent)."""
+        if flow.state is FlowState.CLOSED:
+            return
+        self.transition(flow, FlowState.CLOSED, reason=reason)
+        if flow.channel is not None:
+            flow.channel.close()
+        flow.resume()  # never leave senders parked on a dead gate
+
+    def _forget(self, flow: FlowConnection) -> None:
+        self._flows.pop(flow.flow_id, None)
+        for name in {flow.src_name, flow.dst_name}:
+            ids = self._by_endpoint.get(name)
+            if ids is None:
+                continue
+            try:
+                ids.remove(flow.flow_id)
+            except ValueError:
+                pass
+            if not ids:
+                del self._by_endpoint[name]
+
+
+class ChannelFactory:
+    """Owns the channel construction pipeline and message transplants.
+
+    Construction: mechanism channel (via the hosts' agents) → optional
+    middlebox wrap (paper §7 security) → optional per-tenant rate-limit
+    wrap (paper §1 isolation).  Previously inlined in
+    ``FreeFlowNetwork._build``; extracting it gives rebind/repair one
+    shared, tested pipeline.
+    """
+
+    def __init__(self, network: "FreeFlowNetwork") -> None:
+        self.network = network
+        self.built = 0
+        self.transplanted_messages = 0
+
+    def build(self, src_name: str, dst_name: str,
+              decision: "PolicyDecision") -> DuplexChannel:
+        network = self.network
+        orchestrator = network.orchestrator
+        src = orchestrator.lookup(src_name).container
+        dst = orchestrator.lookup(dst_name).container
+        src_host = orchestrator.locate(src_name)
+        dst_host = orchestrator.locate(dst_name)
+        channel = build_channel(
+            network.agent_for(src_host),
+            network.agent_for(dst_host),
+            decision.mechanism,
+            crosses_vm_boundary=(src.vm is not dst.vm),
+        )
+        if network.middlebox is not None and network.inspect(src, dst):
+            from .middlebox import wrap_channel
+
+            channel = wrap_channel(
+                channel, network.middlebox, src_host, dst_host
+            )
+        bucket_ab = network._tenant_bucket(src.tenant)
+        bucket_ba = network._tenant_bucket(dst.tenant)
+        if bucket_ab is not None or bucket_ba is not None:
+            from ..transports.base import ChannelEnd
+            from .ratelimit import RateLimitedLane
+
+            if bucket_ab is not None:
+                channel.lane_ab = RateLimitedLane(channel.lane_ab,
+                                                  bucket_ab)
+            if bucket_ba is not None:
+                channel.lane_ba = RateLimitedLane(channel.lane_ba,
+                                                  bucket_ba)
+            channel.a = ChannelEnd(channel.lane_ab, channel.lane_ba)
+            channel.b = ChannelEnd(channel.lane_ba, channel.lane_ab)
+        self.built += 1
+        return channel
+
+    def transplant(self, old: DuplexChannel, new: DuplexChannel) -> int:
+        """Move delivered-but-unconsumed messages onto the new lanes.
+
+        Each message is *adopted* by the corresponding new lane: its
+        stats count it (so ``in_flight`` stays conserved and delivery
+        counters match what the lane will actually serve) and any open
+        trace is re-keyed to the live flow.  Returns the number moved.
+        """
+        moved = 0
+        for old_lane, new_lane in (
+            (old.lane_ab, new.lane_ab),
+            (old.lane_ba, new.lane_ba),
+        ):
+            items = list(old_lane.inbox.items)
+            if not items:
+                continue
+            old_lane.inbox.items.clear()
+            for message in items:
+                new_lane.adopt(message)
+                moved += 1
+        self.transplanted_messages += moved
+        return moved
+
+
+class FlowReconciler:
+    """Watch-driven control loop over the FlowTable.
+
+    Subscribes to three feeds and converges the data plane on each
+    change, Kubernetes-controller style:
+
+    * ``/network/containers/`` (network orchestrator KV) — a changed
+      placement triggers pause → drain → rebind → resume of the affected
+      flows; a *first* sighting of a name triggers a repair pass over
+      BROKEN flows (the replacement-container story, paper §2.1).
+    * ``/cluster/hosts/`` (cluster KV) — a DELETE is a host failure:
+      lost containers leave the overlay and their flows go BROKEN.
+    * ``/network/nics/`` (network orchestrator KV) — a runtime NIC
+      capability change re-decides every flow touching the host and
+      rebinds only those whose mechanism actually changed.
+
+    The primitives (``reconcile_container``, ``host_failed``,
+    ``repair_flow`` …) are also directly callable, so the migration
+    controller and ``FreeFlowNetwork``'s failure API share one
+    implementation whether or not the watch pumps are running.
+    """
+
+    DRAIN_POLL_S = 100e-6
+    SETTLE_POLL_S = 100e-6
+
+    def __init__(self, network: "FreeFlowNetwork") -> None:
+        self.network = network
+        self.env = network.env
+        self.table = network.flows
+        self.running = False
+        self._watches: list = []
+        self._procs: list = []
+        #: name -> (host, generation) last seen on the container feed.
+        self._locations: dict[str, tuple] = {}
+        self._busy = 0
+        self.rebinds = 0
+        self.repairs = 0
+        self.reconciliations = 0
+        self.capability_rechecks = 0
+        self.failures_handled = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "FlowReconciler":
+        """Subscribe the three watches and start their pump processes."""
+        if self.running:
+            return self
+        self.running = True
+        orchestrator = self.network.orchestrator
+        containers = orchestrator.kv.watch(
+            "/network/containers/", include_existing=True
+        )
+        hosts = self.network.cluster.watch_hosts()
+        capabilities = orchestrator.watch_capabilities()
+        self._watches = [containers, hosts, capabilities]
+        self._procs = [
+            self.env.process(self._container_pump(containers)),
+            self.env.process(self._host_pump(hosts)),
+            self.env.process(self._capability_pump(capabilities)),
+        ]
+        _events.emit(self.env, "reconciler.start")
+        return self
+
+    def stop(self) -> None:
+        """Cancel the watches; parked pumps become inert."""
+        if not self.running:
+            return
+        self.running = False
+        for watch in self._watches:
+            watch.cancel()
+            watch.queue.items.clear()
+        self._watches = []
+        self._procs = []
+        _events.emit(self.env, "reconciler.stop")
+
+    # -- watch pumps ---------------------------------------------------------
+
+    def _container_pump(self, watch):
+        while True:
+            event = yield watch.queue.get()
+            if not self.running:
+                return
+            name = event.key.rsplit("/", 1)[-1]
+            self._busy += 1
+            try:
+                if event.kind == "delete":
+                    self._locations.pop(name, None)
+                    continue
+                placement = (event.value.get("host"),
+                             event.value.get("generation"))
+                previous = self._locations.get(name)
+                self._locations[name] = placement
+                if previous is None:
+                    # New (or replayed) endpoint: it may unblock repairs.
+                    yield from self._repair_pass(name)
+                elif previous != placement:
+                    self.reconciliations += 1
+                    yield from self.reconcile_container(name)
+            finally:
+                self._busy -= 1
+
+    def _host_pump(self, watch):
+        while True:
+            event = yield watch.queue.get()
+            if not self.running:
+                return
+            host_name = event.key.rsplit("/", 1)[-1]
+            self._busy += 1
+            try:
+                if event.kind == "delete":
+                    self.host_failed(host_name)
+                else:
+                    # Admission or recovery: capabilities may differ from
+                    # what flows were decided with.
+                    yield from self.reconcile_capability(host_name)
+            finally:
+                self._busy -= 1
+
+    def _capability_pump(self, watch):
+        while True:
+            event = yield watch.queue.get()
+            if not self.running:
+                return
+            host_name = event.key.rsplit("/", 1)[-1]
+            self._busy += 1
+            try:
+                yield from self.reconcile_capability(host_name)
+            finally:
+                self._busy -= 1
+
+    # -- primitives ----------------------------------------------------------
+
+    def drain(self, flows):
+        """Generator: wait until ``flows`` have no in-flight messages.
+
+        Two consecutive quiet polls — a send that had passed the pause
+        gate may still be mid-pipeline on the first quiet sample.
+        """
+        quiet = 0
+        while quiet < 2:
+            live = [f for f in flows
+                    if f.channel is not None
+                    and f.state is not FlowState.CLOSED]
+            if any(f.in_flight() > 0 for f in live):
+                quiet = 0
+            else:
+                quiet += 1
+            yield self.env.timeout(self.DRAIN_POLL_S)
+
+    def reconcile_container(self, name: str):
+        """Generator: an endpoint moved — converge its flows.
+
+        Pauses (if not already paused), drains, rebinds and resumes
+        every ACTIVE/PAUSED flow touching ``name``.  Flows the caller
+        paused stay paused (the migration controller owns its downtime
+        window).  Returns ``[(flow, old, new)]`` mechanism changes.
+        """
+        network = self.network
+        network.invalidate(name)
+        affected = [
+            flow for flow in self.table.flows_for(name)
+            if flow.state in (FlowState.ACTIVE, FlowState.PAUSED)
+        ]
+        changes: list = []
+        if not affected:
+            return changes
+        paused_by_me = [flow for flow in affected if not flow.paused]
+        for flow in paused_by_me:
+            flow.pause(self.env)
+        yield from self.drain(affected)
+        for flow in affected:
+            old = flow.mechanism
+            decision = yield from network.rebind(flow)
+            self.rebinds += 1
+            if decision.mechanism is not old:
+                changes.append((flow, old, decision.mechanism))
+        for flow in paused_by_me:
+            flow.resume()
+        return changes
+
+    def reconcile_capability(self, host_name: str):
+        """Generator: a host's registry capabilities changed.
+
+        Re-decides every ACTIVE/PAUSED flow with an endpoint on the
+        host; only flows whose fresh decision picks a *different*
+        mechanism are paused/drained/rebound — e.g. disabling RDMA moves
+        inter-host RDMA flows to kernel TCP while co-located shm pairs
+        stay untouched.  Returns ``[(flow, old, new)]``.
+        """
+        self.capability_rechecks += 1
+        network = self.network
+        orchestrator = network.orchestrator
+        stale: list = []
+        fresh_by_id: dict[int, object] = {}
+        for flow in self.table.open_flows():
+            if flow.state not in (FlowState.ACTIVE, FlowState.PAUSED):
+                continue
+            try:
+                hosts = {
+                    orchestrator.lookup(flow.src_name).host_name,
+                    orchestrator.lookup(flow.dst_name).host_name,
+                }
+            except UnknownContainer:
+                continue
+            if host_name not in hosts:
+                continue
+            network.invalidate(flow.src_name)
+            network.invalidate(flow.dst_name)
+            fresh = orchestrator.decide(flow.src_name, flow.dst_name)
+            if fresh.mechanism is not flow.mechanism:
+                stale.append(flow)
+                fresh_by_id[id(flow)] = fresh.mechanism
+        changes: list = []
+        if not stale:
+            return changes
+        paused_by_me = [flow for flow in stale if not flow.paused]
+        for flow in paused_by_me:
+            flow.pause(self.env)
+        yield from self.drain(stale)
+        for flow in stale:
+            old = flow.mechanism
+            decision = yield from network.rebind(flow)
+            self.rebinds += 1
+            changes.append((flow, old, decision.mechanism))
+        for flow in paused_by_me:
+            flow.resume()
+        return changes
+
+    def host_failed(self, host_name: str,
+                    force_emit: bool = False) -> list[FlowConnection]:
+        """A host died: evict its endpoints, break their flows.
+
+        Synchronous and idempotent — safe to call both directly (the
+        ``FreeFlowNetwork.handle_host_failure`` client) and from the
+        host-liveness pump reacting to the same failure.  Returns the
+        flows newly transitioned to BROKEN.
+        """
+        network = self.network
+        orchestrator = network.orchestrator
+        lost = orchestrator.containers_on(host_name)
+        for name in lost:
+            network._vnics.pop(name, None)
+            orchestrator.deregister(name)
+            network.invalidate(name)
+            self._locations.pop(name, None)
+        network._agents.pop(host_name, None)
+        lost_set = set(lost)
+        broken: list[FlowConnection] = []
+        for flow in self.table.open_flows():
+            if flow.state in (FlowState.BROKEN, FlowState.CLOSED):
+                continue
+            if flow.src_name in lost_set or flow.dst_name in lost_set:
+                self.table.transition(flow, FlowState.BROKEN,
+                                      reason=f"host {host_name} failed")
+                if flow.channel is not None:
+                    for lane in (flow.channel.lane_ab,
+                                 flow.channel.lane_ba):
+                        lane.eject_receivers(
+                            ConnectionReset(f"host {host_name} failed")
+                        )
+                    flow.channel.close()
+                broken.append(flow)
+        if lost or broken or force_emit:
+            self.failures_handled += 1
+            _events.emit(self.env, "host.failure", host=host_name,
+                         containers_lost=len(lost),
+                         connections_broken=len(broken))
+        return broken
+
+    def repair_flow(self, flow: FlowConnection):
+        """Generator: rebind a BROKEN flow whose endpoints are back.
+
+        The state machine enforces legality: repairing a flow that never
+        broke raises :class:`~repro.errors.FlowStateError` at the
+        BROKEN → REBINDING gate.
+        """
+        decision = yield from self.network.rebind(flow)
+        self.repairs += 1
+        _events.emit(self.env, "flow.repair", src=flow.src_name,
+                     dst=flow.dst_name,
+                     mechanism=decision.mechanism.value)
+        return decision
+
+    def _repair_pass(self, name: str):
+        """Generator: a newly attached endpoint may unblock repairs."""
+        network = self.network
+        for flow in list(self.table.flows_for(name)):
+            if flow.state is not FlowState.BROKEN:
+                continue
+            if (flow.src_name in network._vnics
+                    and flow.dst_name in network._vnics):
+                yield from self.repair_flow(flow)
+
+    def wait_settled(self, name: Optional[str] = None):
+        """Generator: park until the reconciler has converged.
+
+        Converged = no queued watch events, no handler mid-flight, and
+        no (matching) flow in a transitional state — for two consecutive
+        polls, so an event consumed but not yet handled cannot slip
+        through the gap.
+        """
+        quiet = 0
+        while quiet < 2:
+            yield self.env.timeout(self.SETTLE_POLL_S)
+            if self._busy or any(w.queue.items for w in self._watches):
+                quiet = 0
+                continue
+            flows = (self.table.flows_for(name) if name is not None
+                     else self.table.open_flows())
+            if any(f.state is FlowState.REBINDING for f in flows):
+                quiet = 0
+                continue
+            quiet += 1

@@ -111,6 +111,9 @@ class InspectedLane:
         message = yield from self.inner.recv()
         return message
 
+    def adopt(self, message: Any) -> None:
+        self.inner.adopt(message)
+
     def eject_receivers(self, exception: BaseException) -> None:
         self.inner.eject_receivers(exception)
 

@@ -35,7 +35,7 @@ from ..cluster.container import ContainerStatus
 from ..errors import MigrationError, TransportUnavailable
 from ..transports.rdma import RdmaLane
 from ..transports.tcpip import TcpFallbackChannel
-from .network import FlowConnection, FreeFlowNetwork
+from .network import FreeFlowNetwork
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..hardware.host import Host
@@ -108,13 +108,14 @@ class MigrationController:
 
         # -- stop-and-copy (downtime window) -----------------------------------
         downtime_started = self.env.now
+        reconciler = self.network.reconciler
         paused = [
             c for c in self.network.connections
-            if name in (c.src_name, c.dst_name)
+            if name in (c.src_name, c.dst_name) and not c.failed
         ]
         for connection in paused:
             connection.pause(self.env)
-        yield from self._drain(paused)
+        yield from reconciler.drain(paused)
         yield from self._bulk_copy(src_host, dst_host, remaining)
         bytes_copied += remaining
 
@@ -123,13 +124,21 @@ class MigrationController:
         self.network.orchestrator.refresh_location(name)
         self.network.invalidate(name)
 
+        # The reconciler rebinds the paused flows: via its watch pump
+        # when it is running (the relocate above published the new
+        # placement), else by invoking the primitive directly.  Flows a
+        # controller paused stay paused until *we* reopen the gate, so
+        # the downtime window below remains ours to measure.
+        if reconciler.running:
+            yield from reconciler.wait_settled(name)
+        else:
+            yield from reconciler.reconcile_container(name)
+
         mechanism_changes = []
         for connection in paused:
-            yield from self.network.rebind(connection)
-            if connection.mechanism is not old_mechanisms[id(connection)]:
-                mechanism_changes.append(
-                    (old_mechanisms[id(connection)], connection.mechanism)
-                )
+            old = old_mechanisms[id(connection)]
+            if connection.mechanism is not old:
+                mechanism_changes.append((old, connection.mechanism))
         container.status = ContainerStatus.RUNNING
         for connection in paused:
             connection.resume()
@@ -188,17 +197,3 @@ class MigrationController:
             remaining -= size
         yield sink
         lane.close()
-
-    def _drain(self, connections: list[FlowConnection]):
-        """Wait until every in-flight message has been delivered.
-
-        Connections are already paused, so no *new* messages enter; a
-        send that had passed the pause gate may still be mid-pipeline,
-        hence the requirement of two consecutive quiet polls."""
-        quiet = 0
-        while quiet < 2:
-            if any(c.in_flight() > 0 for c in connections):
-                quiet = 0
-            else:
-                quiet += 1
-            yield self.env.timeout(100e-6)

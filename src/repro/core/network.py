@@ -16,6 +16,15 @@ Typical use::
     vnic_b = net.attach(container_b)
     decision = yield from net.connect(qp_a, qp_b)   # policy + channel
 
+Flow lifecycle lives in :mod:`repro.core.flows`: every connection is a
+:class:`~repro.core.flows.FlowConnection` registered in the network's
+:class:`~repro.core.flows.FlowTable`, channels are built by its
+:class:`~repro.core.flows.ChannelFactory`, and the watch-driven
+:class:`~repro.core.flows.FlowReconciler` (``net.reconciler.start()``)
+converges flows automatically when containers move, hosts die or NIC
+capabilities change.  ``handle_host_failure``/``repair_connection``
+remain as thin clients of the reconciler's primitives.
+
 The library-side *location cache* (TTL-based) implements the paper's
 "keeps pulling the newest container location information from the
 network orchestrator" with a knob the caching ablation (E13) sweeps:
@@ -25,7 +34,6 @@ connection; a positive TTL amortises it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from ..cluster.container import Container
@@ -33,8 +41,15 @@ from ..cluster.orchestrator import ClusterOrchestrator
 from ..errors import ChannelRebound, OrchestrationError
 from ..telemetry import events as _events
 from ..telemetry import registry as _registry
-from ..transports.base import DuplexChannel, Mechanism
-from .agent import FreeFlowAgent, build_channel
+from .agent import FreeFlowAgent
+from .flows import (
+    ChannelFactory,
+    ConnectionEnd,
+    FlowConnection,
+    FlowReconciler,
+    FlowState,
+    FlowTable,
+)
 from .orchestrator import NetworkOrchestrator
 from .policy import MechanismPolicy, PolicyConfig, PolicyDecision
 from .verbs import QpState, QueuePair
@@ -43,103 +58,8 @@ from .vnic import VirtualNic
 if TYPE_CHECKING:  # pragma: no cover
     from ..hardware.host import Host
 
-__all__ = ["FreeFlowNetwork", "FlowConnection"]
-
-
-class ConnectionEnd:
-    """Migration-stable endpoint facade over a :class:`FlowConnection`.
-
-    Applications hold this object; it resolves the live channel on every
-    call, honours the connection's pause gate, and transparently retries
-    a receive that was ejected by a channel swap — which is what keeps
-    connections alive across live migrations (paper §7).
-    """
-
-    def __init__(self, connection: "FlowConnection", side: str) -> None:
-        if side not in ("a", "b"):
-            raise ValueError(f"side must be 'a' or 'b', got {side!r}")
-        self._connection = connection
-        self._side = side
-
-    def _end(self):
-        channel = self._connection.channel
-        return channel.a if self._side == "a" else channel.b
-
-    @property
-    def mechanism(self) -> Mechanism:
-        return self._end().mechanism
-
-    def send(self, nbytes: int, payload=None):
-        yield from self._connection.wait_if_paused()
-        result = yield from self._end().send(nbytes, payload)
-        return result
-
-    def recv(self):
-        while True:
-            yield from self._connection.wait_if_paused()
-            try:
-                message = yield from self._end().recv()
-                return message
-            except ChannelRebound:
-                continue
-
-
-@dataclass
-class FlowConnection:
-    """A logical container-to-container connection the network tracks.
-
-    Tracking connections centrally is what lets migration rebind them
-    when an endpoint moves (paper §7, "Live migration").
-    """
-
-    src_name: str
-    dst_name: str
-    channel: DuplexChannel
-    decision: PolicyDecision
-    qp_a: Optional[QueuePair] = None
-    qp_b: Optional[QueuePair] = None
-    generation: int = 1
-    failed: bool = False
-
-    def __post_init__(self) -> None:
-        self.a = ConnectionEnd(self, "a")
-        self.b = ConnectionEnd(self, "b")
-        self._paused = False
-        self._resume_event = None
-
-    @property
-    def mechanism(self) -> Mechanism:
-        return self.decision.mechanism
-
-    @property
-    def paused(self) -> bool:
-        return self._paused
-
-    def pause(self, env) -> None:
-        """Stop admitting new sends/recvs at the facade (migration)."""
-        if not self._paused:
-            self._paused = True
-            self._resume_event = env.event()
-
-    def resume(self) -> None:
-        if self._paused:
-            self._paused = False
-            event, self._resume_event = self._resume_event, None
-            if event is not None:
-                event.succeed()
-
-    def wait_if_paused(self):
-        """Generator: park until :meth:`resume` (no-op when running)."""
-        while self._paused:
-            yield self._resume_event
-
-    def in_flight(self) -> int:
-        """Messages accepted but not yet delivered, both directions."""
-        lanes = (self.channel.lane_ab, self.channel.lane_ba)
-        return sum(
-            lane.stats.messages_sent - lane.stats.messages_delivered
-            for lane in lanes
-        )
+__all__ = ["FreeFlowNetwork", "FlowConnection", "ConnectionEnd",
+           "FlowState"]
 
 
 class FreeFlowNetwork:
@@ -183,12 +103,24 @@ class FreeFlowNetwork:
         self._agents: dict[str, FreeFlowAgent] = {}
         self._vnics: dict[str, VirtualNic] = {}
         self._cache: dict[tuple[str, str], tuple[PolicyDecision, float]] = {}
-        self.connections: list[FlowConnection] = []
+        #: The flow-lifecycle subsystem (see repro.core.flows).
+        self.flows = FlowTable(self.env)
+        self.factory = ChannelFactory(self)
+        self.reconciler = FlowReconciler(self)
         self.cache_hits = 0
         self.cache_misses = 0
         registry = _registry.ACTIVE
         if registry is not None:
             registry.register_network(self)
+
+    @property
+    def connections(self) -> list[FlowConnection]:
+        """Open flows (BROKEN included), creation-ordered.
+
+        A view over the FlowTable: closed flows are pruned there, so
+        this no longer grows without bound across connect/close churn.
+        """
+        return self.flows.open_flows()
 
     # -- agents ------------------------------------------------------------------
 
@@ -217,6 +149,16 @@ class FreeFlowNetwork:
         return vnic
 
     def detach(self, name: str) -> None:
+        """Remove a container from the overlay, closing its flows."""
+        from ..errors import ConnectionReset
+
+        for flow in self.flows.flows_for(name):
+            if flow.channel is not None:
+                for lane in (flow.channel.lane_ab, flow.channel.lane_ba):
+                    lane.eject_receivers(
+                        ConnectionReset(f"{name} detached")
+                    )
+            self.flows.close(flow, reason=f"{name} detached")
         self._vnics.pop(name, None)
         self.orchestrator.deregister(name)
         self.invalidate(name)
@@ -283,13 +225,17 @@ class FreeFlowNetwork:
         Benchmarks use this to measure the data plane without verbs-layer
         overhead; the verbs path goes through :meth:`connect`.
         """
-        decision = yield from self.resolve(src_name, dst_name)
-        channel = self._build(src_name, dst_name, decision)
-        connection = FlowConnection(src_name, dst_name, channel, decision)
-        self.connections.append(connection)
+        flow = self.flows.open(src_name, dst_name)
+        try:
+            decision = yield from self.resolve(src_name, dst_name)
+            channel = self.factory.build(src_name, dst_name, decision)
+        except BaseException:
+            self.flows.close(flow, reason="connect-failed")
+            raise
+        self.flows.activate(flow, channel, decision)
         _events.emit(self.env, "flow.connect", src=src_name, dst=dst_name,
                      mechanism=decision.mechanism.value)
-        return connection
+        return flow
 
     def connect(self, qp_a: QueuePair, qp_b: QueuePair):
         """Connect two queue pairs through the policy-chosen channel.
@@ -300,8 +246,13 @@ class FreeFlowNetwork:
         """
         src = qp_a.vnic.container
         dst = qp_b.vnic.container
-        decision = yield from self.resolve(src.name, dst.name)
-        channel = self._build(src.name, dst.name, decision)
+        flow = self.flows.open(src.name, dst.name)
+        try:
+            decision = yield from self.resolve(src.name, dst.name)
+            channel = self.factory.build(src.name, dst.name, decision)
+        except BaseException:
+            self.flows.close(flow, reason="connect-failed")
+            raise
         for qp in (qp_a, qp_b):
             if qp.state is QpState.RESET:
                 qp.modify(QpState.INIT)
@@ -311,48 +262,16 @@ class FreeFlowNetwork:
                 qp.modify(QpState.RTS)
         qp_a.vnic.bind(qp_a, channel.a, qp_b)
         qp_b.vnic.bind(qp_b, channel.b, qp_a)
-        connection = FlowConnection(
-            src.name, dst.name, channel, decision, qp_a=qp_a, qp_b=qp_b
-        )
-        self.connections.append(connection)
+        flow.qp_a = qp_a
+        flow.qp_b = qp_b
+        self.flows.activate(flow, channel, decision)
         _events.emit(self.env, "flow.connect", src=src.name, dst=dst.name,
                      mechanism=decision.mechanism.value, verbs=True)
         return decision
 
-    def _build(
-        self, src_name: str, dst_name: str, decision: PolicyDecision
-    ) -> DuplexChannel:
-        src = self.orchestrator.lookup(src_name).container
-        dst = self.orchestrator.lookup(dst_name).container
-        src_host = self.orchestrator.locate(src_name)
-        dst_host = self.orchestrator.locate(dst_name)
-        channel = build_channel(
-            self.agent_for(src_host),
-            self.agent_for(dst_host),
-            decision.mechanism,
-            crosses_vm_boundary=(src.vm is not dst.vm),
-        )
-        if self.middlebox is not None and self.inspect(src, dst):
-            from .middlebox import wrap_channel
-
-            channel = wrap_channel(
-                channel, self.middlebox, src_host, dst_host
-            )
-        bucket_ab = self._tenant_bucket(src.tenant)
-        bucket_ba = self._tenant_bucket(dst.tenant)
-        if bucket_ab is not None or bucket_ba is not None:
-            from .ratelimit import RateLimitedLane, limit_channel
-            from ..transports.base import ChannelEnd
-
-            if bucket_ab is not None:
-                channel.lane_ab = RateLimitedLane(channel.lane_ab,
-                                                  bucket_ab)
-            if bucket_ba is not None:
-                channel.lane_ba = RateLimitedLane(channel.lane_ba,
-                                                  bucket_ba)
-            channel.a = ChannelEnd(channel.lane_ab, channel.lane_ba)
-            channel.b = ChannelEnd(channel.lane_ba, channel.lane_ab)
-        return channel
+    def close_connection(self, connection: FlowConnection) -> None:
+        """Close a flow and prune it from the table (idempotent)."""
+        self.flows.close(connection)
 
     def _tenant_bucket(self, tenant: str):
         """The shared token bucket for a rate-limited tenant (or None)."""
@@ -368,42 +287,25 @@ class FreeFlowNetwork:
         return bucket
 
     # -- failure handling (§2.1 failure-mitigation story) -----------------------
+    #
+    # Thin clients of the reconciler's primitives: the same code paths
+    # run whether failure is reported here synchronously or observed by
+    # the reconciler's host-liveness watch.
 
     def handle_host_failure(self, host_name: str) -> list[FlowConnection]:
         """React to a dead host: lost containers leave the overlay and
-        every connection touching them is reset.
+        every flow touching them goes BROKEN (channel reset).
 
-        Returns the failed connections so the application (or a
-        controller) can repair them once replacements are running.
+        Returns the broken flows so the application (or a controller)
+        can repair them once replacements are running.  With the
+        reconciler started, the replacement attach alone triggers the
+        repair automatically.
         """
-        from ..errors import ConnectionReset
-
-        lost = self.cluster.fail_host(host_name)
-        for name in lost:
-            self._vnics.pop(name, None)
-            self.orchestrator.deregister(name)
-            self.invalidate(name)
-        self._agents.pop(host_name, None)
-        broken = [
-            connection for connection in self.connections
-            if not connection.failed
-            and (connection.src_name in lost or connection.dst_name in lost)
-        ]
-        for connection in broken:
-            connection.failed = True
-            for lane in (connection.channel.lane_ab,
-                         connection.channel.lane_ba):
-                lane.eject_receivers(
-                    ConnectionReset(f"host {host_name} failed")
-                )
-            connection.channel.close()
-        _events.emit(self.env, "host.failure", host=host_name,
-                     containers_lost=len(lost),
-                     connections_broken=len(broken))
-        return broken
+        self.cluster.fail_host(host_name)
+        return self.reconciler.host_failed(host_name, force_emit=True)
 
     def repair_connection(self, connection: FlowConnection):
-        """Rebuild a failed connection once both endpoints exist again
+        """Rebuild a BROKEN flow once both endpoints exist again
         (generator).  The caller resubmits + re-attaches the replacement
         container first; this re-resolves (possibly a new mechanism,
         since the replacement may land elsewhere) and swaps the channel.
@@ -413,38 +315,40 @@ class FreeFlowNetwork:
         # Both endpoints must be attached again.
         self.vnic(connection.src_name)
         self.vnic(connection.dst_name)
-        decision = yield from self.rebind(connection)
-        connection.failed = False
-        _events.emit(self.env, "flow.repair", src=connection.src_name,
-                     dst=connection.dst_name,
-                     mechanism=decision.mechanism.value)
+        decision = yield from self.reconciler.repair_flow(connection)
         return decision
 
     # -- migration hook ---------------------------------------------------------------
 
     def rebind(self, connection: FlowConnection):
-        """Re-resolve and rebuild a connection after an endpoint moved.
+        """Re-resolve and rebuild a flow's channel after an endpoint
+        moved (or came back from a failure).
 
         Generator: costs an orchestrator query (the cache entry was
-        invalidated by the migration controller).
+        invalidated by whoever observed the move).  The flow passes
+        through REBINDING and lands back in ACTIVE — or PAUSED, when a
+        controller holds the pause gate for its downtime window.  The
+        state machine rejects rebinds of RESOLVING/CLOSED flows.
         """
-        decision = yield from self.resolve(
-            connection.src_name, connection.dst_name
-        )
-        channel = self._build(
-            connection.src_name, connection.dst_name, decision
-        )
+        table = self.flows
+        table.transition(connection, FlowState.REBINDING, reason="rebind")
+        try:
+            decision = yield from self.resolve(
+                connection.src_name, connection.dst_name
+            )
+            channel = self.factory.build(
+                connection.src_name, connection.dst_name, decision
+            )
+        except BaseException:
+            table.transition(connection, FlowState.BROKEN,
+                             reason="rebind-failed")
+            raise
         old = connection.channel
-        # Transplant delivered-but-unconsumed messages so nothing is lost,
-        # then eject receivers still parked on the old lanes — they retry
-        # against the new channel through the ConnectionEnd facade.
-        for old_lane, new_lane in (
-            (old.lane_ab, channel.lane_ab),
-            (old.lane_ba, channel.lane_ba),
-        ):
-            for item in list(old_lane.inbox.items):
-                new_lane.inbox.put(item)
-            old_lane.inbox.items.clear()
+        # Transplant delivered-but-unconsumed messages so nothing is
+        # lost (stats + trace move with them), then eject receivers
+        # still parked on the old lanes — they retry against the new
+        # channel through the ConnectionEnd facade.
+        moved = self.factory.transplant(old, channel)
         connection.channel = channel
         connection.decision = decision
         connection.generation += 1
@@ -459,8 +363,14 @@ class FreeFlowNetwork:
             for old_lane in (old.lane_ab, old.lane_ba):
                 old_lane.eject_receivers(ChannelRebound("channel was rebound"))
         old.close()
+        table.transition(
+            connection,
+            FlowState.PAUSED if connection.paused else FlowState.ACTIVE,
+            reason="rebound",
+        )
         _events.emit(self.env, "flow.rebind", src=connection.src_name,
                      dst=connection.dst_name,
                      mechanism=decision.mechanism.value,
-                     generation=connection.generation)
+                     generation=connection.generation,
+                     transplanted=moved)
         return decision

@@ -77,6 +77,10 @@ class NetworkOrchestrator:
         self.kv = KeyValueStore(cluster.env)
         self._records: dict[str, ContainerRecord] = {}
         self._ip_index: dict[str, str] = {}  # ip -> container name
+        #: Runtime NIC-capability overrides, host name -> partial caps
+        #: dict (e.g. ``{"rdma": False}``).  The registry view can
+        #: diverge from the hardware when an operator drains a NIC.
+        self._nic_overrides: dict[str, dict] = {}
         self.queries_served = 0
 
     # -- registration (control plane writes) --------------------------------------
@@ -165,21 +169,68 @@ class NetworkOrchestrator:
         """Synchronous policy decision from current global state."""
         src = self._record(src_name).container
         dst = self._record(dst_name).container
-        return self.policy.decide(src, dst)
+        return self.policy.decide(src, dst, capabilities=self._nic_overrides)
 
     def nic_capabilities(self, host_name: str) -> dict:
-        """The third kind of global information (§4.2)."""
+        """The third kind of global information (§4.2).
+
+        Merges the hardware truth with any runtime overrides set via
+        :meth:`set_nic_capability` — callers see the registry view the
+        policy engine actually decides with.
+        """
         host = self.cluster.host(host_name)
-        return {
+        caps = {
             "model": host.nic.spec.model,
             "rdma": host.rdma_capable,
             "dpdk": host.dpdk_capable,
             "link_rate_bps": host.nic.spec.link_rate_bps,
         }
+        caps.update(self._nic_overrides.get(host_name, {}))
+        return caps
+
+    def set_nic_capability(
+        self,
+        host_name: str,
+        rdma: Optional[bool] = None,
+        dpdk: Optional[bool] = None,
+    ) -> dict:
+        """Change a host's NIC capability bits in the registry at runtime.
+
+        Models an operator draining (or re-enabling) a bypass feature —
+        e.g. disabling RDMA on a host ahead of a firmware upgrade.  The
+        merged view is published under ``/network/nics/<host>`` so the
+        flow reconciler can re-decide affected flows; existing channels
+        are *not* torn down here (policy is control plane, not enforcement).
+        """
+        self.cluster.host(host_name)  # validate the name
+        override = self._nic_overrides.setdefault(host_name, {})
+        if rdma is not None:
+            override["rdma"] = bool(rdma)
+        if dpdk is not None:
+            override["dpdk"] = bool(dpdk)
+        caps = self.nic_capabilities(host_name)
+        self.kv.put(f"/network/nics/{host_name}", {
+            "rdma": caps["rdma"],
+            "dpdk": caps["dpdk"],
+        })
+        _events.emit(self.env, "nic.capability", host=host_name,
+                     rdma=caps["rdma"], dpdk=caps["dpdk"])
+        return caps
+
+    def containers_on(self, host_name: str) -> list[str]:
+        """Names of registered containers recorded on ``host_name``."""
+        return [
+            name for name, record in self._records.items()
+            if record.container.host.name == host_name
+        ]
 
     def watch_container(self, name: str) -> Watch:
         """Subscribe to placement/IP changes of one container."""
         return self.kv.watch(f"/network/containers/{name}")
+
+    def watch_capabilities(self) -> Watch:
+        """Subscribe to runtime NIC-capability changes (all hosts)."""
+        return self.kv.watch("/network/nics/")
 
     # -- convenience --------------------------------------------------------------
 

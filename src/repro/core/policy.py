@@ -59,10 +59,22 @@ class MechanismPolicy:
     def __init__(self, config: Optional[PolicyConfig] = None) -> None:
         self.config = config or PolicyConfig()
 
-    def decide(self, src: Container, dst: Container) -> PolicyDecision:
-        """Pick the best mechanism for traffic ``src -> dst``."""
+    def decide(
+        self,
+        src: Container,
+        dst: Container,
+        capabilities: Optional[dict] = None,
+    ) -> PolicyDecision:
+        """Pick the best mechanism for traffic ``src -> dst``.
+
+        ``capabilities`` optionally overrides per-host NIC capability
+        bits (``{host_name: {"rdma": bool, "dpdk": bool}}``) — the
+        orchestrator's registry view, which may diverge from the
+        hardware when an operator disables a feature at runtime.
+        """
         trusted = src.trusts(dst)
         colocated = src.colocated(dst)
+        caps = capabilities or {}
 
         if self.config.require_trust and not trusted:
             # No isolation compromise across tenants: the kernel path is
@@ -84,7 +96,7 @@ class MechanismPolicy:
             # works (the NIC hairpins locally).
             pass
 
-        if self.config.allow_rdma and self._both_rdma(src, dst):
+        if self.config.allow_rdma and self._both_rdma(src, dst, caps):
             return PolicyDecision(
                 Mechanism.RDMA, "kernel bypass via RDMA NICs",
                 colocated, trusted,
@@ -93,7 +105,7 @@ class MechanismPolicy:
         if (
             self.config.allow_dpdk
             and self.config.prefer_dpdk_fallback
-            and self._both_dpdk(src, dst)
+            and self._both_dpdk(src, dst, caps)
         ):
             return PolicyDecision(
                 Mechanism.DPDK, "no RDMA; DPDK poll-mode bypass",
@@ -122,18 +134,29 @@ class MechanismPolicy:
         """Kernel-bypass from inside a VM needs SR-IOV passthrough."""
         return container.vm is None or container.vm.sriov
 
-    def _both_rdma(self, src: Container, dst: Container) -> bool:
+    @staticmethod
+    def _cap(container: Container, capabilities: dict, key: str,
+             default: bool) -> bool:
+        """Hardware capability, unless the registry overrides it."""
+        override = capabilities.get(container.host.name)
+        if override is not None and key in override:
+            return bool(override[key])
+        return default
+
+    def _both_rdma(self, src: Container, dst: Container,
+                   capabilities: dict) -> bool:
         return (
-            src.host.rdma_capable
-            and dst.host.rdma_capable
+            self._cap(src, capabilities, "rdma", src.host.rdma_capable)
+            and self._cap(dst, capabilities, "rdma", dst.host.rdma_capable)
             and self._vm_bypass_ok(src)
             and self._vm_bypass_ok(dst)
         )
 
-    def _both_dpdk(self, src: Container, dst: Container) -> bool:
+    def _both_dpdk(self, src: Container, dst: Container,
+                   capabilities: dict) -> bool:
         return (
-            src.host.dpdk_capable
-            and dst.host.dpdk_capable
+            self._cap(src, capabilities, "dpdk", src.host.dpdk_capable)
+            and self._cap(dst, capabilities, "dpdk", dst.host.dpdk_capable)
             and self._vm_bypass_ok(src)
             and self._vm_bypass_ok(dst)
         )

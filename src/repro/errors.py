@@ -20,6 +20,7 @@ __all__ = [
     "OrchestrationError",
     "UnknownContainer",
     "PlacementError",
+    "FlowStateError",
     "SocketError",
     "ConnectionRefused",
     "ConnectionReset",
@@ -89,6 +90,15 @@ class UnknownContainer(OrchestrationError):
 
 class PlacementError(OrchestrationError):
     """The cluster scheduler could not place a container."""
+
+
+class FlowStateError(OrchestrationError):
+    """Illegal transition in the per-flow lifecycle state machine.
+
+    Raised by :class:`repro.core.flows.FlowTable` when a caller asks for
+    a transition the state machine does not permit (e.g. repairing a
+    flow that never broke, or rebinding a closed flow).
+    """
 
 
 # -- socket translation --------------------------------------------------------

@@ -19,10 +19,26 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["ACTIVE", "ControlEvent", "EventLog", "emit", "enable", "disable"]
+__all__ = [
+    "ACTIVE",
+    "FLOW_TRANSITION",
+    "ControlEvent",
+    "EventLog",
+    "emit",
+    "emit_transition",
+    "enable",
+    "disable",
+]
 
 #: The currently active event log, or None when disabled.
 ACTIVE: Optional["EventLog"] = None
+
+#: Canonical kind for flow-lifecycle state changes.  Every transition the
+#: :class:`repro.core.flows.FlowTable` performs (connect, pause, break,
+#: rebind, repair, close) is emitted under this kind, so a single
+#: ``log.of_kind(FLOW_TRANSITION)`` query reconstructs each flow's full
+#: life from the control-plane log.
+FLOW_TRANSITION = "flow.transition"
 
 
 @dataclass(slots=True)
@@ -86,6 +102,20 @@ def emit(env, kind: str, **fields) -> None:
     log = ACTIVE
     if log is not None:
         log.emit(env.now, kind, **fields)
+
+
+def emit_transition(env, flow_id: str, src: str, dst: str,
+                    old_state: str, new_state: str, reason: str = "",
+                    **fields) -> None:
+    """Emit one :data:`FLOW_TRANSITION` event (no-op when disabled).
+
+    Field names are fixed (``flow``/``src``/``dst``/``old``/``new``/
+    ``reason``) so exporters and tests can rely on the shape.
+    """
+    log = ACTIVE
+    if log is not None:
+        log.emit(env.now, FLOW_TRANSITION, flow=flow_id, src=src, dst=dst,
+                 old=old_state, new=new_state, reason=reason, **fields)
 
 
 def enable(capacity: int = 4096) -> EventLog:

@@ -241,6 +241,24 @@ class MetricsRegistry:
                    fn=lambda n=network: float(n.orchestrator.queries_served))
         self.gauge(f"{prefix}.connections",
                    fn=lambda n=network: float(len(n.connections)))
+        table = getattr(network, "flows", None)
+        if table is not None:
+            from ..core.flows import FlowState
+
+            flows = "repro.flows"
+            self.gauge(f"{flows}.open", fn=lambda t=table: float(len(t)))
+            self.gauge(
+                f"{flows}.active",
+                fn=lambda t=table: float(t.count(FlowState.ACTIVE)),
+            )
+            self.gauge(
+                f"{flows}.broken",
+                fn=lambda t=table: float(t.count(FlowState.BROKEN)),
+            )
+            self.gauge(f"{flows}.closed_total",
+                       fn=lambda t=table: float(t.closed_total))
+            self.gauge(f"{flows}.transitions",
+                       fn=lambda t=table: float(t.transitions))
 
     # -- queries ----------------------------------------------------------
 

@@ -144,6 +144,29 @@ class Lane:
         self._finish_trace(message)
         return message
 
+    def adopt(self, message: Message) -> None:
+        """Take ownership of a delivered-but-unconsumed message that was
+        sitting in another lane's inbox when the channel was swapped
+        (live migration / repair).
+
+        Accounting moves with the message: the adopting lane counts it
+        as sent *and* delivered (so ``in_flight`` stays conserved and
+        this lane's delivered/byte counters reflect every message it
+        will actually serve), and the message's open trace — if any — is
+        re-keyed to this lane's flow and mechanism so it finishes under
+        the live flow instead of dangling on the closed one.  The
+        delivery latency sample stays with the lane that actually
+        delivered the message; it is not re-recorded here.
+        """
+        self.stats.messages_sent += 1
+        self.stats.messages_delivered += 1
+        self.stats.payload_bytes += message.size_bytes
+        trace = message.meta.get("trace")
+        if trace is not None:
+            trace.flow = self.flow
+            trace.mechanism = self.mechanism.value
+        self.inbox.put(message)
+
     def eject_receivers(self, exception: BaseException) -> None:
         """Fail every receiver parked on this lane's inbox.
 
