@@ -20,6 +20,8 @@ Quickstart::
     env, cluster, net = quickstart_cluster(hosts=2)
 """
 
+import os
+
 from .cluster import ClusterOrchestrator, ContainerSpec
 from .core import FreeFlowNetwork
 from .hardware import Fabric, Host, PAPER_TESTBED
@@ -55,3 +57,15 @@ def quickstart_cluster(hosts: int = 2, spec=None, **network_kwargs):
         cluster.add_host(Host(env, f"host{index}", spec=spec, fabric=fabric))
     network = FreeFlowNetwork(cluster, **network_kwargs)
     return env, cluster, network
+
+
+# -- opt-in runtime sanitizer ------------------------------------------------
+# REPRO_SANITIZE=1 arms the dynamic invariant checks (past-scheduled
+# events, clock monotonicity, transplant conservation, FlowTable-only
+# transitions) for the whole process; see repro.analysis.sanitizer.
+# Checked here, at import time, so `REPRO_SANITIZE=1 python -m pytest`
+# and the demos need no code changes to run sanitized.
+if os.environ.get("REPRO_SANITIZE"):
+    from .analysis.sanitizer import install as _sanitizer_install
+
+    _sanitizer_install()

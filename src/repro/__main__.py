@@ -6,6 +6,11 @@ Gives the library a zero-setup "does it work?" entry point:
 * ``python -m repro matrix``   — the Fig. 2 / Table 1 mechanism matrix
 * ``python -m repro compare``  — FreeFlow vs every baseline, intra+inter
 * ``python -m repro trace``    — per-hop latency breakdown per mechanism
+
+Besides the demos there is one tool subcommand:
+
+* ``python -m repro lint``     — simlint static analysis (SIM001-SIM007);
+  see :mod:`repro.analysis.cli` for flags (``--fail-on-new`` etc.)
 """
 
 from __future__ import annotations
@@ -312,9 +317,17 @@ DEMOS = {
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        # Tool subcommand with its own flag namespace; dispatched before
+        # the demo parser so `lint --fail-on-new` is not read as a demo.
+        from .analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="FreeFlow (HotNets'16) reproduction demos",
+        description="FreeFlow (HotNets'16) reproduction demos "
+                    "(plus the 'lint' tool subcommand)",
     )
     parser.add_argument("demo", nargs="?", default="quickstart",
                         choices=sorted(DEMOS))

@@ -1,0 +1,27 @@
+"""simlint: FreeFlow-repro-aware static analysis and runtime sanitizers.
+
+Two complementary halves:
+
+* :mod:`repro.analysis.core` + :mod:`repro.analysis.rules` — the static
+  analyzer behind ``python -m repro lint`` (rules SIM001-SIM007, inline
+  pragmas, a fingerprint baseline for ``--fail-on-new`` CI gating);
+* :mod:`repro.analysis.sanitizer` — runtime invariant checks armed by
+  ``REPRO_SANITIZE=1`` or :func:`repro.analysis.sanitizer.install`,
+  catching dynamically what the AST cannot see (events scheduled in the
+  past, clock regressions, stats lost across lane transplants, flow
+  transitions that bypass the FlowTable).
+
+This package is imported lazily by ``repro/__main__.py`` and the
+sanitizer hook; importing :mod:`repro` alone never pays for it.
+"""
+
+from .core import Finding, lint_paths, lint_source
+from .rules import ALL_RULES, RULES_BY_CODE
+
+__all__ = [
+    "Finding",
+    "lint_paths",
+    "lint_source",
+    "ALL_RULES",
+    "RULES_BY_CODE",
+]

@@ -1,0 +1,139 @@
+"""``python -m repro lint`` — the simlint command-line front end.
+
+Modes:
+
+* default — lint ``src/repro`` (or the given paths), report findings,
+  exit 1 if any finding is *new* (not in the baseline);
+* ``--fail-on-new`` — the same gate, spelled out for CI readability;
+* ``--write-baseline`` — record the current findings as the tolerated
+  set and exit 0 (run after intentionally accepting a finding);
+* ``--no-baseline`` — ignore the baseline: every finding is "new";
+* ``--list-rules`` — print the rule codes and what they check;
+* ``--format json`` — machine-readable output for tooling.
+
+The baseline lives at ``.simlint-baseline.json`` (current directory
+first, then the repository root inferred from the installed package).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from . import core
+from .rules import ALL_RULES
+
+__all__ = ["main"]
+
+BASELINE_NAME = ".simlint-baseline.json"
+
+
+def _package_dir() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _default_baseline(explicit: Optional[str]) -> Path:
+    """Baseline location: explicit flag, else CWD, else repo root."""
+    if explicit:
+        return Path(explicit)
+    cwd_candidate = Path.cwd() / BASELINE_NAME
+    if cwd_candidate.exists():
+        return cwd_candidate
+    # src/repro -> repo root two levels up (editable/source checkouts).
+    root_candidate = _package_dir().parent.parent / BASELINE_NAME
+    if root_candidate.exists():
+        return root_candidate
+    return cwd_candidate
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=("simlint: FreeFlow-repro-aware static analysis "
+                     "(rules SIM001-SIM007)"),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the repro package)")
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help=f"baseline file (default: {BASELINE_NAME} in CWD or repo root)")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings as the tolerated set and exit 0")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline; every finding counts as new")
+    parser.add_argument(
+        "--fail-on-new", action="store_true",
+        help="exit 1 when findings outside the baseline exist "
+             "(this is the default behaviour; the flag spells out the "
+             "CI contract)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule codes and summaries, then exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+
+    paths = args.paths or [str(_package_dir())]
+    findings = core.lint_paths(paths)
+
+    baseline_path = _default_baseline(args.baseline)
+    if args.write_baseline:
+        core.write_baseline(baseline_path, findings)
+        print(f"simlint: wrote {len(findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    baseline = set() if args.no_baseline else core.load_baseline(
+        baseline_path)
+    new, known = core.partition(findings, baseline)
+
+    if args.format == "json":
+        print(json.dumps({
+            "new": [_record(f) for f in new],
+            "baselined": [_record(f) for f in known],
+        }, indent=2))
+    else:
+        for finding in new:
+            print(finding.format())
+        summary = (f"simlint: {len(new)} new finding(s), "
+                   f"{len(known)} baselined")
+        if new:
+            summary += (f" — fix them, add a '# simlint: disable=...' "
+                        f"pragma with a reason, or rerun with "
+                        f"--write-baseline to accept")
+        print(summary, file=sys.stderr if new else sys.stdout)
+
+    return 1 if new else 0
+
+
+def _record(finding: core.Finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "snippet": finding.snippet,
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover - direct module execution
+    raise SystemExit(main())

@@ -1,0 +1,277 @@
+"""simlint core: findings, pragmas, baselines and the file walker.
+
+The analyzer (``python -m repro lint``) checks repo-specific invariants
+no generic linter can see — determinism, lost events, yield-atomicity,
+unbounded growth, telemetry naming, flow-state ownership, bare asserts.
+This module owns everything *around* the rules:
+
+* :class:`Finding` — one diagnostic, with a line-number-free
+  :meth:`~Finding.fingerprint` so baselines survive unrelated edits;
+* inline pragmas — ``# simlint: disable=SIM004`` suppresses the named
+  rules on that line, ``# simlint: disable-file=SIM001`` for the file;
+* the baseline file (``.simlint-baseline.json``) — known findings the
+  gate tolerates, so ``--fail-on-new`` only trips on regressions;
+* :func:`lint_paths` — walk files, build the cross-file context (metric
+  families registered in ``telemetry/registry.py``), run every rule.
+
+Only the stdlib ``ast`` module is used; the analyzer adds no deps.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Suppressions",
+    "collect_files",
+    "display_path",
+    "lint_source",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+    "partition",
+]
+
+#: Inline suppression syntax.  ``disable`` scopes to the carrying line
+#: (or, on a comment-only line, to the next code line — which leaves
+#: room for a justification sentence), ``disable-file`` to the whole
+#: file.  Rule lists are comma-separated.
+_PRAGMA_RE = re.compile(
+    r"#.*\bsimlint:\s*(disable|disable-file)\s*=\s*([A-Z0-9,\s]+)"
+)
+
+#: Metric-name literal shape (see rules.SIM005): collected from
+#: ``telemetry/registry.py`` to build the known-family cross-check set.
+_METRIC_LITERAL_RE = re.compile(r"^repro\.[a-z0-9_.]+$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violated at a specific place."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def fingerprint(self) -> tuple:
+        """Line-number-free identity used by the baseline.
+
+        ``(rule, path, snippet)`` survives edits elsewhere in the file;
+        moving or rewriting the offending line invalidates the entry,
+        which is what a baseline should do.
+        """
+        return (self.rule, self.path, self.snippet)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_record(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "snippet": self.snippet}
+
+
+@dataclass
+class LintContext:
+    """Cross-file facts the per-file rules need.
+
+    ``known_families`` is the set of two-segment metric prefixes
+    (``repro.lane``, ``repro.socket`` …) registered or declared in
+    ``telemetry/registry.py``; ``None`` disables the SIM005 cross-check
+    (pattern checking still applies).
+    """
+
+    known_families: Optional[set] = None
+
+
+class Suppressions:
+    """Per-file pragma index: which rules are disabled where."""
+
+    def __init__(self, source: str) -> None:
+        self.file_rules: set[str] = set()
+        self.line_rules: dict[int, set[str]] = {}
+        lines = source.splitlines()
+        #: Pragmas from comment-only lines waiting for the next code line.
+        carried: set[str] = set()
+        for lineno, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            comment_only = stripped.startswith("#")
+            match = _PRAGMA_RE.search(line)
+            if match is not None:
+                rules = {
+                    rule.strip()
+                    for rule in match.group(2).split(",")
+                    if rule.strip()
+                }
+                if match.group(1) == "disable-file":
+                    self.file_rules |= rules
+                elif comment_only:
+                    carried |= rules
+                else:
+                    self.line_rules.setdefault(lineno, set()).update(rules)
+            if carried and stripped and not comment_only:
+                self.line_rules.setdefault(lineno, set()).update(carried)
+                carried = set()
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        if rule in self.file_rules:
+            return True
+        return rule in self.line_rules.get(line, ())
+
+
+def display_path(path: "str | Path") -> str:
+    """Stable, repo-relative display form of ``path``.
+
+    Paths inside the package are shown from the last ``repro``/``tests``
+    path component (``repro/core/flows.py``), so fingerprints match no
+    matter where the checkout lives; anything else is shown as given.
+    """
+    parts = Path(path).parts
+    for anchor in ("repro", "tests", "benchmarks"):
+        if anchor in parts:
+            index = len(parts) - 1 - parts[::-1].index(anchor)
+            if index < len(parts) - 1 or parts[-1] == anchor:
+                return "/".join(parts[index:])
+    return Path(path).as_posix()
+
+
+def collect_files(paths: Iterable["str | Path"]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            out.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def _registry_families(files: Sequence[Path]) -> Optional[set]:
+    """Metric families declared in ``telemetry/registry.py``.
+
+    Every string literal in the registry module matching the metric
+    shape contributes its first two dotted segments — this picks up both
+    the pull-style registration prefixes (``repro.lane``, ``repro.host``)
+    and the declared :data:`~repro.telemetry.registry.KNOWN_FAMILIES`
+    tuple for push-style counters.  Returns None when no registry module
+    is among the linted files (cross-check disabled).
+    """
+    families: set[str] = set()
+    seen_registry = False
+    for path in files:
+        shown = display_path(path)
+        if not shown.endswith("telemetry/registry.py"):
+            continue
+        seen_registry = True
+        try:
+            tree = ast.parse(path.read_text())
+        except (OSError, SyntaxError):  # pragma: no cover - unreadable
+            continue
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and _METRIC_LITERAL_RE.match(node.value)):
+                segments = node.value.strip(".").split(".")
+                if len(segments) >= 2:
+                    families.add(".".join(segments[:2]))
+    return families if seen_registry else None
+
+
+def lint_source(
+    source: str,
+    path: "str | Path",
+    rules: Optional[Sequence] = None,
+    ctx: Optional[LintContext] = None,
+) -> list[Finding]:
+    """Run every rule over one file's source text."""
+    from .rules import ALL_RULES
+
+    shown = display_path(path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding("SIM000", shown, exc.lineno or 1, 0,
+                        f"syntax error: {exc.msg}")]
+    if ctx is None:
+        ctx = LintContext()
+    suppressions = Suppressions(source)
+    lines = source.splitlines()
+    findings: list[Finding] = []
+    for rule in (ALL_RULES if rules is None else rules):
+        for finding in rule.check(tree, shown, lines, ctx):
+            if not suppressions.suppresses(finding.rule, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def lint_paths(
+    paths: Iterable["str | Path"],
+    rules: Optional[Sequence] = None,
+    known_families: Optional[set] = None,
+) -> list[Finding]:
+    """Lint files/directories; returns all findings, path-ordered."""
+    files = collect_files(paths)
+    if known_families is None:
+        known_families = _registry_families(files)
+    ctx = LintContext(known_families=known_families)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_source(path.read_text(), path, rules, ctx))
+    return findings
+
+
+# -- baseline ---------------------------------------------------------------
+
+
+def load_baseline(path: "str | Path") -> set[tuple]:
+    """Fingerprints of the tolerated findings (empty set if no file)."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return set()
+    data = json.loads(baseline_path.read_text())
+    return {
+        (entry["rule"], entry["path"], entry.get("snippet", ""))
+        for entry in data.get("findings", [])
+    }
+
+
+def write_baseline(path: "str | Path", findings: Sequence[Finding]) -> None:
+    """Persist ``findings`` as the new tolerated set (sorted, stable)."""
+    records = sorted(
+        (finding.as_record() for finding in findings),
+        key=lambda record: (record["path"], record["rule"], record["snippet"]),
+    )
+    payload = {
+        "comment": (
+            "simlint baseline: known findings `python -m repro lint "
+            "--fail-on-new` tolerates. Regenerate with --write-baseline; "
+            "shrink it whenever a finding is fixed."
+        ),
+        "findings": records,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def partition(
+    findings: Sequence[Finding], baseline: set[tuple]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split into (new, baselined) against the fingerprint set."""
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for finding in findings:
+        (known if finding.fingerprint() in baseline else new).append(finding)
+    return new, known

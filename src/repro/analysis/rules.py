@@ -1,0 +1,675 @@
+"""simlint rules SIM001–SIM007: FreeFlow-repro-specific invariants.
+
+Each rule is a small AST pass.  They are deliberately narrow — tuned to
+how *this* codebase expresses the pattern — because a repo-specific
+linter earns its keep by being quiet: a rule that cries wolf gets
+pragma'd into noise.  Where a rule cannot decide statically (a metric
+name built entirely from variables, a loop back-edge), it stays silent;
+the runtime sanitizer (:mod:`repro.analysis.sanitizer`) is the dynamic
+complement that catches what escapes here.
+
+Rule index:
+
+* **SIM001** determinism — no wall clock / unseeded randomness in
+  ``src/repro`` outside the ``sim/rand.py`` allowlist;
+* **SIM002** lost event — an Event/Timeout/Store operation created in a
+  sim-process generator but neither yielded, stored, nor returned;
+* **SIM003** yield-point atomicity — read-modify-write of ``self.*``
+  spanning a ``yield`` (state can change while the process is parked);
+* **SIM004** unbounded growth — ``.append`` onto a long-lived list that
+  is never pruned anywhere in its class/module;
+* **SIM005** telemetry naming — metric literals must match
+  ``repro.[a-z0-9_.]+`` and belong to a family the registry knows;
+  event kinds must be lowercase dotted names;
+* **SIM006** flow-state ownership — ``.state`` on flow connections is
+  assigned only inside ``core/flows.py`` (the FlowTable state machine);
+* **SIM007** no bare ``assert`` in library code — asserts vanish under
+  ``python -O``; raise a typed error from :mod:`repro.errors`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from .core import Finding, LintContext
+
+__all__ = [
+    "Rule",
+    "ALL_RULES",
+    "RULES_BY_CODE",
+    "DeterminismRule",
+    "LostEventRule",
+    "YieldAtomicityRule",
+    "UnboundedGrowthRule",
+    "TelemetryNamingRule",
+    "FlowStateOwnershipRule",
+    "BareAssertRule",
+]
+
+
+class Rule:
+    """Base class: one code, one summary, one AST pass."""
+
+    code = "SIM000"
+    summary = ""
+
+    def check(
+        self, tree: ast.Module, path: str, lines: list, ctx: LintContext
+    ) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, node: ast.AST, message: str,
+                lines: list) -> Finding:
+        line = getattr(node, "lineno", 1)
+        snippet = lines[line - 1].strip() if 0 < line <= len(lines) else ""
+        return Finding(self.code, path, line,
+                       getattr(node, "col_offset", 0), message, snippet)
+
+
+def _in_tests(path: str) -> bool:
+    return path.startswith("tests/") or "/tests/" in path
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self")
+
+
+def _walk_own_scope(body: list) -> Iterator[ast.AST]:
+    """Walk statements/expressions of one function body, skipping nested
+    function and class scopes (their yields/statements are not ours)."""
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def _is_generator(fn: ast.FunctionDef) -> bool:
+    return any(isinstance(node, (ast.Yield, ast.YieldFrom))
+               for node in _walk_own_scope(fn.body))
+
+
+# ---------------------------------------------------------------------------
+# SIM001 — determinism
+# ---------------------------------------------------------------------------
+
+
+class DeterminismRule(Rule):
+    code = "SIM001"
+    summary = ("no wall clock / unseeded randomness in simulation code; "
+               "use repro.sim.rand.RandomStream")
+
+    #: Modules whose import alone is a violation: all their useful entry
+    #: points are nondeterministic from the simulation's point of view.
+    BANNED_MODULES = {"random", "secrets"}
+
+    #: ``module_or_class -> {attribute}`` calls that read the wall clock
+    #: or an OS entropy source.
+    BANNED_ATTRS = {
+        "time": {"time", "time_ns", "monotonic", "monotonic_ns",
+                 "perf_counter", "perf_counter_ns"},
+        "datetime": {"now", "utcnow", "today"},
+        "date": {"today"},
+        "os": {"urandom", "getrandom"},
+        "uuid": {"uuid1", "uuid4"},
+    }
+
+    #: ``from module import name`` pairs equivalent to the above.
+    BANNED_FROM = {
+        ("time", "time"), ("time", "time_ns"), ("time", "monotonic"),
+        ("time", "perf_counter"), ("os", "urandom"),
+        ("uuid", "uuid1"), ("uuid", "uuid4"),
+    }
+
+    #: The seeded-randomness home; its own ``import random`` is the point.
+    ALLOWLIST_SUFFIXES = ("repro/sim/rand.py",)
+
+    def check(self, tree, path, lines, ctx):
+        if path.endswith(self.ALLOWLIST_SUFFIXES) or _in_tests(path):
+            return []
+        out: list[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self.BANNED_MODULES:
+                        out.append(self.finding(
+                            path, node,
+                            f"import of nondeterministic module "
+                            f"{alias.name!r} — use repro.sim.rand."
+                            f"RandomStream (seeded) instead", lines))
+            elif isinstance(node, ast.ImportFrom):
+                module = (node.module or "").split(".")[0]
+                if module in self.BANNED_MODULES:
+                    out.append(self.finding(
+                        path, node,
+                        f"import from nondeterministic module {module!r} — "
+                        f"use repro.sim.rand.RandomStream (seeded) instead",
+                        lines))
+                    continue
+                for alias in node.names:
+                    if (module, alias.name) in self.BANNED_FROM:
+                        out.append(self.finding(
+                            path, node,
+                            f"import of nondeterministic "
+                            f"{module}.{alias.name} — simulation code must "
+                            f"use env.now / seeded streams", lines))
+            elif isinstance(node, ast.Call):
+                out.extend(self._check_call(node, path, lines))
+        return out
+
+    def _check_call(self, call: ast.Call, path, lines):
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "hash" and call.args:
+            yield self.finding(
+                path, call,
+                "builtin hash() is salted per interpreter run "
+                "(PYTHONHASHSEED) — derive stable keys with "
+                "hashlib.sha256 or repro.sim.rand", lines)
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        base = func.value
+        base_name = None
+        if isinstance(base, ast.Name):
+            base_name = base.id
+        elif isinstance(base, ast.Attribute):
+            base_name = base.attr
+        if base_name is None:
+            return
+        banned = self.BANNED_ATTRS.get(base_name)
+        if banned and func.attr in banned:
+            yield self.finding(
+                path, call,
+                f"nondeterministic call {base_name}.{func.attr}() — "
+                f"simulation code must use env.now (sim clock) or "
+                f"repro.sim.rand (seeded)", lines)
+
+
+# ---------------------------------------------------------------------------
+# SIM002 — lost event
+# ---------------------------------------------------------------------------
+
+
+class LostEventRule(Rule):
+    code = "SIM002"
+    summary = ("event/store operation created in a generator but neither "
+               "yielded, stored, nor returned")
+
+    #: Methods whose return value *is* the claim: discarding it either
+    #: leaks an event nobody can wait on, or worse (``.get``) consumes an
+    #: item that is then dropped on the floor.
+    DISCARD_METHODS = {"timeout", "event", "all_of", "any_of", "get"}
+    DISCARD_CTORS = {"Timeout", "Event", "AllOf", "AnyOf", "Condition"}
+
+    def check(self, tree, path, lines, ctx):
+        out: list[Finding] = []
+        for fn in ast.walk(tree):
+            if not isinstance(fn, ast.FunctionDef) or not _is_generator(fn):
+                continue
+            for node in _walk_own_scope(fn.body):
+                if not (isinstance(node, ast.Expr)
+                        and isinstance(node.value, ast.Call)):
+                    continue
+                func = node.value.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in self.DISCARD_METHODS):
+                    out.append(self.finding(
+                        path, node,
+                        f".{func.attr}() result discarded inside generator "
+                        f"{fn.name!r} — yield it, store it, or return it "
+                        f"(a dropped event is a lost wakeup; a dropped "
+                        f"get() is a lost item)", lines))
+                elif (isinstance(func, ast.Name)
+                        and func.id in self.DISCARD_CTORS):
+                    out.append(self.finding(
+                        path, node,
+                        f"{func.id}(...) created and discarded inside "
+                        f"generator {fn.name!r} — nobody can ever wait on "
+                        f"it", lines))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# SIM003 — yield-point atomicity
+# ---------------------------------------------------------------------------
+
+
+class YieldAtomicityRule(Rule):
+    code = "SIM003"
+    summary = ("read-modify-write of self.* spanning a yield — re-read "
+               "after resuming")
+
+    def check(self, tree, path, lines, ctx):
+        out: list[Finding] = []
+        for fn in ast.walk(tree):
+            if isinstance(fn, ast.FunctionDef) and _is_generator(fn):
+                _AtomicityScan(self, path, lines, out).run(fn.body)
+        return out
+
+
+class _AtomicityScan:
+    """Lexical single pass over one generator body.
+
+    Tracks *carriers* — locals assigned directly from ``self.attr`` —
+    together with how many yields had executed at the read.  A later
+    ``self.attr = <expr using carrier>`` after additional yields is the
+    classic lost-update: the process was parked in between and another
+    process may have changed ``self.attr``.
+
+    If/else branches are scanned independently from a snapshot and
+    merged (union of carriers, max yield count); loop back-edges are not
+    modeled — a single lexical pass keeps the rule predictable.
+    """
+
+    def __init__(self, rule: Rule, path: str, lines: list,
+                 out: list) -> None:
+        self.rule = rule
+        self.path = path
+        self.lines = lines
+        self.out = out
+        self.yields = 0
+        #: local name -> (attr read from self, yields seen at the read)
+        self.carriers: dict = {}
+
+    def run(self, body: list) -> None:
+        self._stmts(body)
+
+    def _stmts(self, stmts: list) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.Assign):
+            self._count(stmt.value)
+            self._assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._count(stmt.test)
+            snapshot = dict(self.carriers)
+            base_yields = self.yields
+            self._stmts(stmt.body)
+            body_carriers = dict(self.carriers)
+            body_yields = self.yields
+            self.carriers = dict(snapshot)
+            self.yields = base_yields
+            self._stmts(stmt.orelse)
+            self.carriers.update(body_carriers)
+            self.yields = max(self.yields, body_yields)
+        elif isinstance(stmt, (ast.For, ast.While)):
+            self._count(stmt.iter if isinstance(stmt, ast.For)
+                        else stmt.test)
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._count(item.context_expr)
+            self._stmts(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._stmts(stmt.body)
+            for handler in stmt.handlers:
+                self._stmts(handler.body)
+            self._stmts(stmt.orelse)
+            self._stmts(stmt.finalbody)
+        else:
+            self._count(stmt)
+
+    def _count(self, node: Optional[ast.AST]) -> None:
+        if node is None:
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                self.yields += 1
+
+    def _assign(self, stmt: ast.Assign) -> None:
+        value = stmt.value
+        if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+            name = stmt.targets[0].id
+            if _is_self_attr(value):
+                self.carriers[name] = (value.attr, self.yields)
+            else:
+                self.carriers.pop(name, None)
+            return
+        for target in stmt.targets:
+            if not _is_self_attr(target):
+                continue
+            for sub in ast.walk(value):
+                if not (isinstance(sub, ast.Name)
+                        and sub.id in self.carriers):
+                    continue
+                attr, read_yields = self.carriers[sub.id]
+                if attr == target.attr and read_yields < self.yields:
+                    self.out.append(self.rule.finding(
+                        self.path, stmt,
+                        f"read-modify-write of self.{attr} spans a yield: "
+                        f"{sub.id!r} was read before the process parked — "
+                        f"re-read self.{attr} after resuming or update it "
+                        f"before yielding", self.lines))
+                    break
+
+
+# ---------------------------------------------------------------------------
+# SIM004 — unbounded growth
+# ---------------------------------------------------------------------------
+
+
+class UnboundedGrowthRule(Rule):
+    code = "SIM004"
+    summary = ("append onto a long-lived list that is never pruned — "
+               "cap it or prune it")
+
+    GROW = {"append", "extend", "appendleft"}
+    PRUNE = {"pop", "popleft", "clear", "remove"}
+
+    @staticmethod
+    def _is_list_value(node: ast.AST) -> bool:
+        if isinstance(node, ast.List):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "list")
+
+    def check(self, tree, path, lines, ctx):
+        out: list[Finding] = []
+        for cls in ast.walk(tree):
+            if isinstance(cls, ast.ClassDef):
+                self._check_class(cls, path, lines, out)
+        self._check_module(tree, path, lines, out)
+        return out
+
+    def _check_class(self, cls: ast.ClassDef, path, lines, out) -> None:
+        # Long-lived lists: attributes initialised to a list in __init__.
+        candidates: set = set()
+        for node in cls.body:
+            if (isinstance(node, ast.FunctionDef)
+                    and node.name == "__init__"):
+                for sub in ast.walk(node):
+                    if (isinstance(sub, ast.Assign)
+                            and len(sub.targets) == 1
+                            and _is_self_attr(sub.targets[0])
+                            and self._is_list_value(sub.value)):
+                        candidates.add(sub.targets[0].attr)
+                    elif (isinstance(sub, ast.AnnAssign)
+                            and sub.value is not None
+                            and _is_self_attr(sub.target)
+                            and self._is_list_value(sub.value)):
+                        candidates.add(sub.target.attr)
+        if not candidates:
+            return
+        grows: list = []
+        pruned: set = set()
+        for node in ast.walk(cls):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and _is_self_attr(node.func.value)):
+                attr = node.func.value.attr
+                if node.func.attr in self.GROW:
+                    grows.append((attr, node))
+                elif node.func.attr in self.PRUNE:
+                    pruned.add(attr)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    base = (target.value
+                            if isinstance(target, ast.Subscript)
+                            else target)
+                    if _is_self_attr(base):
+                        pruned.add(base.attr)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    # Reassignment (self.x = self.x[-n:]) or slice store
+                    # counts as a prune — but the defining `self.x = []`
+                    # in __init__ does not.
+                    if (_is_self_attr(target)
+                            and not self._is_list_value(node.value)):
+                        pruned.add(target.attr)
+                    elif (isinstance(target, ast.Subscript)
+                            and _is_self_attr(target.value)
+                            and isinstance(target.slice, ast.Slice)):
+                        pruned.add(target.value.attr)
+        for attr, node in grows:
+            if attr in candidates and attr not in pruned:
+                out.append(self.finding(
+                    path, node,
+                    f"self.{attr} grows on every call and nothing in class "
+                    f"{cls.name!r} ever prunes it — bound it (maxlen, "
+                    f"reservoir, rollover) or prune on a schedule", lines))
+
+    def _check_module(self, tree: ast.Module, path, lines, out) -> None:
+        candidates = set()
+        for stmt in tree.body:
+            if (isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and self._is_list_value(stmt.value)):
+                candidates.add(stmt.targets[0].id)
+            elif (isinstance(stmt, ast.AnnAssign)
+                    and stmt.value is not None
+                    and isinstance(stmt.target, ast.Name)
+                    and self._is_list_value(stmt.value)):
+                candidates.add(stmt.target.id)
+        if not candidates:
+            return
+        grows: list = []
+        pruned: set = set()
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in candidates):
+                if node.func.attr in self.GROW:
+                    grows.append((node.func.value.id, node))
+                elif node.func.attr in self.PRUNE:
+                    pruned.add(node.func.value.id)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    base = (target.value
+                            if isinstance(target, ast.Subscript)
+                            else target)
+                    if isinstance(base, ast.Name) and base.id in candidates:
+                        pruned.add(base.id)
+            elif isinstance(node, ast.Assign) and node not in tree.body:
+                for target in node.targets:
+                    if (isinstance(target, ast.Name)
+                            and target.id in candidates):
+                        pruned.add(target.id)
+        for name, node in grows:
+            if name not in pruned:
+                out.append(self.finding(
+                    path, node,
+                    f"module-level list {name!r} grows and is never pruned "
+                    f"— it lives for the whole process; bound it or move "
+                    f"it into an object with a lifecycle", lines))
+
+
+# ---------------------------------------------------------------------------
+# SIM005 — telemetry naming
+# ---------------------------------------------------------------------------
+
+
+class TelemetryNamingRule(Rule):
+    code = "SIM005"
+    summary = ("metric names must match repro.[a-z0-9_.]+ in a registered "
+               "family; event kinds must be lowercase dotted names")
+
+    METRIC_CALLS = {"counter_inc", "histogram_observe",
+                    "counter", "gauge", "histogram"}
+    METRIC_RE = re.compile(r"^repro(\.[a-z0-9_]+)+$")
+    KIND_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+    def check(self, tree, path, lines, ctx):
+        out: list[Finding] = []
+        in_registry = path.endswith("telemetry/registry.py")
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            name = (func.id if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute)
+                    else None)
+            if name in self.METRIC_CALLS:
+                self._check_metric(node, path, lines, ctx, in_registry, out)
+            elif name == "emit":
+                self._check_kind(node, path, lines, out)
+        return out
+
+    def _family(self, literal: str) -> Optional[str]:
+        segments = [s for s in literal.split(".") if s]
+        if len(segments) >= 2:
+            return ".".join(segments[:2])
+        return None
+
+    def _check_metric(self, node, path, lines, ctx, in_registry, out):
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            name = arg.value
+            if not self.METRIC_RE.match(name):
+                out.append(self.finding(
+                    path, node,
+                    f"metric name {name!r} does not match "
+                    f"repro.[a-z0-9_.]+ — every metric lives under the "
+                    f"repro. namespace, lowercase dotted", lines))
+                return
+            family = self._family(name)
+            if (ctx.known_families is not None and not in_registry
+                    and family is not None
+                    and family not in ctx.known_families):
+                out.append(self.finding(
+                    path, node,
+                    f"metric family {family!r} is not declared in "
+                    f"telemetry/registry.py (KNOWN_FAMILIES or a "
+                    f"register_* prefix) — typo, or declare the family",
+                    lines))
+        elif isinstance(arg, ast.JoinedStr) and arg.values:
+            head = arg.values[0]
+            if not (isinstance(head, ast.Constant)
+                    and isinstance(head.value, str)):
+                return  # fully dynamic name: the rule stays silent
+            if not head.value.startswith("repro."):
+                out.append(self.finding(
+                    path, node,
+                    f"metric f-string starts with {head.value!r} — every "
+                    f"metric name must start with 'repro.'", lines))
+                return
+            # Family check only when the first two segments are complete
+            # (i.e. the literal head contains a second dot).
+            if (head.value.count(".") >= 2
+                    and ctx.known_families is not None and not in_registry):
+                family = self._family(head.value)
+                if family is not None and family not in ctx.known_families:
+                    out.append(self.finding(
+                        path, node,
+                        f"metric family {family!r} is not declared in "
+                        f"telemetry/registry.py — typo, or declare the "
+                        f"family", lines))
+
+    def _check_kind(self, node, path, lines, out):
+        for arg in node.args:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                kind = arg.value
+                if not self.KIND_RE.match(kind):
+                    out.append(self.finding(
+                        path, node,
+                        f"event kind {kind!r} does not match "
+                        f"subject.verb naming ([a-z0-9_] segments joined "
+                        f"by dots, e.g. 'flow.rebind')", lines))
+                return  # only the first string positional is the kind
+
+
+# ---------------------------------------------------------------------------
+# SIM006 — flow-state ownership
+# ---------------------------------------------------------------------------
+
+
+class FlowStateOwnershipRule(Rule):
+    code = "SIM006"
+    summary = ("flow .state is assigned only inside core/flows.py — "
+               "use FlowTable.transition()")
+
+    OWNER_SUFFIX = "core/flows.py"
+    FLOWISH = re.compile(r"^(flow|conn)", re.IGNORECASE)
+
+    def check(self, tree, path, lines, ctx):
+        if path.endswith(self.OWNER_SUFFIX):
+            return []
+        out: list[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.AugAssign):
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for target in targets:
+                if not (isinstance(target, ast.Attribute)
+                        and target.attr == "state"):
+                    continue
+                if self._mentions_flowstate(value):
+                    out.append(self.finding(
+                        path, node,
+                        "direct FlowState assignment — flow lifecycle is "
+                        "owned by the FlowTable state machine in "
+                        "core/flows.py; call table.transition() so the "
+                        "legality check, watchers and telemetry fire",
+                        lines))
+                elif (isinstance(target.value, ast.Name)
+                        and self.FLOWISH.match(target.value.id)):
+                    out.append(self.finding(
+                        path, node,
+                        f"assignment to {target.value.id}.state outside "
+                        f"core/flows.py — flow state transitions must go "
+                        f"through FlowTable.transition()", lines))
+        return out
+
+    @staticmethod
+    def _mentions_flowstate(value: ast.AST) -> bool:
+        return any(isinstance(sub, ast.Name) and sub.id == "FlowState"
+                   for sub in ast.walk(value))
+
+
+# ---------------------------------------------------------------------------
+# SIM007 — no bare assert in library code
+# ---------------------------------------------------------------------------
+
+
+class BareAssertRule(Rule):
+    code = "SIM007"
+    summary = ("bare assert vanishes under python -O — raise a typed "
+               "error from repro.errors")
+
+    def check(self, tree, path, lines, ctx):
+        if _in_tests(path):
+            return []
+        return [
+            self.finding(
+                path, node,
+                "bare assert in library code — it disappears under "
+                "python -O and names no invariant; raise the matching "
+                "repro.errors type instead", lines)
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Assert)
+        ]
+
+
+ALL_RULES = (
+    DeterminismRule(),
+    LostEventRule(),
+    YieldAtomicityRule(),
+    UnboundedGrowthRule(),
+    TelemetryNamingRule(),
+    FlowStateOwnershipRule(),
+    BareAssertRule(),
+)
+
+RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

@@ -1,0 +1,329 @@
+"""Runtime sanitizer: dynamic invariant checks for the simulation engine.
+
+The static rules in :mod:`repro.analysis.rules` catch what the AST can
+see; this module catches what it cannot — armed either by setting
+``REPRO_SANITIZE=1`` in the environment (checked at :mod:`repro` import
+time) or by calling :func:`install` directly.  Four invariant groups:
+
+* **No event scheduled in the past** — every entry popped by the engine
+  must carry ``time >= env.now``; a past-dated entry means some code
+  pushed directly onto the queues with a stale timestamp.
+* **Monotone clock / global order** — consecutive pops must be
+  non-decreasing in ``(time, priority, eid)``.  The three-queue engine
+  (ready deque / monotone tail / heap) is *supposed* to be
+  pop-order-identical to a single heap; this verifies it on every event.
+* **Conservation across transplants** — :meth:`Lane.adopt` must count
+  the adopted message exactly once in sent, delivered and payload
+  bytes, and :meth:`ChannelFactory.transplant` must move every queued
+  message and leave the old inboxes empty (no message lost or forged
+  during live migration / repair).
+* **FlowTable-only transitions** — ``FlowConnection.state`` becomes a
+  guarded property; assigning it anywhere but through
+  :meth:`FlowTable.transition` / :meth:`FlowConnection._transition`
+  raises (the static counterpart is rule SIM006).
+
+All violations raise :class:`repro.errors.SanitizerViolation`.  The
+sanitizer routes ``Environment.run``'s inlined drain loop back through
+``step()`` so every event is checked; that costs some throughput, which
+is why it is opt-in (CI runs the tier-1 suite and an engine smoke with
+it armed; the floor for the sanitized smoke is 5% below the normal
+one).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SanitizerViolation
+
+__all__ = ["install", "uninstall", "installed", "stats", "reset_stats"]
+
+
+class _State:
+    """Saved originals + counters while the sanitizer is installed."""
+
+    def __init__(self) -> None:
+        self.orig_step = None
+        self.orig_run = None
+        self.orig_adopt = None
+        self.orig_transplant = None
+        self.orig_table_transition = None
+        self.orig_flow_transition = None
+        #: >0 while inside a sanctioned transition (state writes allowed).
+        self.allow_depth = 0
+        self.checks: dict[str, int] = {}
+        self.violations = 0
+
+
+_state: Optional[_State] = None
+
+
+def installed() -> bool:
+    return _state is not None
+
+
+def stats() -> dict:
+    """Counters: checks performed per category + violations raised."""
+    if _state is None:
+        return {"installed": False}
+    return {
+        "installed": True,
+        "violations": _state.violations,
+        **dict(sorted(_state.checks.items())),
+    }
+
+
+def reset_stats() -> None:
+    if _state is not None:
+        _state.checks.clear()
+        _state.violations = 0
+
+
+def _bump(key: str) -> None:
+    state = _state
+    if state is not None:
+        state.checks[key] = state.checks.get(key, 0) + 1
+
+
+def _violate(message: str) -> None:
+    if _state is not None:
+        _state.violations += 1
+    raise SanitizerViolation(message)
+
+
+# -- engine checks ----------------------------------------------------------
+
+
+def _peek_key(env):
+    """Front entry of the globally sorted merge of the three queues."""
+    best = None
+    if env._ready:
+        best = env._ready[0]
+    if env._tail and (best is None or env._tail[0] < best):
+        best = env._tail[0]
+    if env._queue and (best is None or env._queue[0] < best):
+        best = env._queue[0]
+    return best
+
+
+def _checked_step(self) -> None:
+    entry = _peek_key(self)
+    if entry is None:
+        # Let the original raise EmptySchedule with its own message.
+        _state.orig_step(self)
+        return
+    time, priority, eid, _event = entry
+    if time < self._now:
+        _violate(
+            f"event scheduled in the past: entry at t={time!r} "
+            f"(priority={priority}, eid={eid}) while the clock is at "
+            f"t={self._now!r} — something pushed a stale timestamp "
+            f"directly onto the engine queues"
+        )
+    # Only *time* must be monotone across pops: an event processed at
+    # time t may legitimately schedule an URGENT (lower-priority-number)
+    # event at the same t, which a single heap would also pop next with
+    # a smaller (priority, eid) — full-key monotonicity only holds for a
+    # static event set.
+    last = self.__dict__.get("_san_last_time")
+    if last is not None and time < last:
+        _violate(
+            f"simulation clock regressed: popping an entry at t={time!r} "
+            f"(priority={priority}, eid={eid}) after one at t={last!r} — "
+            f"the three-queue schedule is no longer heap-equivalent"
+        )
+    self.__dict__["_san_last_time"] = time
+    _bump("engine_step")
+    _state.orig_step(self)
+    if self._now != time:
+        _violate(
+            f"clock desynchronised: step() predicted t={time!r} but the "
+            f"clock reads t={self._now!r} — step popped a different entry "
+            f"than the global front"
+        )
+
+
+def _checked_run(self, until=None):
+    """Re-route the drain loop through (checked) step().
+
+    The original ``run`` inlines ``step()``'s body for the unbounded
+    cases, bypassing any wrapper; this version reproduces its contract
+    on top of ``self.step()``.  The numeric-``until`` path already calls
+    ``self.step()`` per event, so it is delegated unchanged.
+    """
+    from ..sim.events import Event
+    from ..sim.scheduler import StopSimulation
+
+    if until is not None and not isinstance(until, Event):
+        return _state.orig_run(self, until)
+
+    stop_event = None
+    if until is not None:
+        stop_event = until
+        if stop_event.processed:
+            if stop_event._ok:
+                return stop_event._value
+            raise stop_event._value
+        stop_event._add_callback(self._stop_on)
+
+    try:
+        while self._ready or self._tail or self._queue:
+            self.step()
+    except StopSimulation as stop:
+        event = stop.args[0]
+        if event._ok:
+            return event._value
+        raise event._value from None
+
+    if stop_event is not None:
+        if not stop_event.processed:
+            raise RuntimeError(
+                "simulation ran out of events before `until` event "
+                "triggered"
+            )
+        if stop_event._ok:
+            return stop_event._value
+        raise stop_event._value
+    return None
+
+
+# -- conservation checks ----------------------------------------------------
+
+
+def _checked_adopt(self, message) -> None:
+    stats_obj = self.stats
+    sent = stats_obj.messages_sent
+    delivered = stats_obj.messages_delivered
+    payload = stats_obj.payload_bytes
+    _state.orig_adopt(self, message)
+    _bump("lane_adopt")
+    if (stats_obj.messages_sent != sent + 1
+            or stats_obj.messages_delivered != delivered + 1
+            or stats_obj.payload_bytes != payload + message.size_bytes):
+        _violate(
+            f"Lane.adopt broke stats conservation on {self.flow!r}: "
+            f"expected sent +1 / delivered +1 / payload "
+            f"+{message.size_bytes}, got sent "
+            f"{stats_obj.messages_sent - sent:+d}, delivered "
+            f"{stats_obj.messages_delivered - delivered:+d}, payload "
+            f"{stats_obj.payload_bytes - payload:+d} — in_flight is no "
+            f"longer conserved across the transplant"
+        )
+
+
+def _checked_transplant(self, old, new) -> int:
+    pairs = ((old.lane_ab, new.lane_ab), (old.lane_ba, new.lane_ba))
+    pending = [len(old_lane.inbox.items) for old_lane, _ in pairs]
+    delivered_before = [new_lane.stats.messages_delivered
+                        for _, new_lane in pairs]
+    moved = _state.orig_transplant(self, old, new)
+    _bump("channel_transplant")
+    if moved != sum(pending):
+        _violate(
+            f"transplant moved {moved} message(s) but the old inboxes "
+            f"held {sum(pending)} — messages were lost or forged during "
+            f"the channel swap"
+        )
+    for (old_lane, new_lane), count, before in zip(
+            pairs, pending, delivered_before):
+        if old_lane.inbox.items:
+            _violate(
+                f"transplant left {len(old_lane.inbox.items)} message(s) "
+                f"in the old {old_lane.mechanism.value} lane's inbox — "
+                f"they are stranded on a dead channel"
+            )
+        got = new_lane.stats.messages_delivered - before
+        if got != count:
+            _violate(
+                f"transplant adopted {got} message(s) into the new "
+                f"{new_lane.mechanism.value} lane but the old lane held "
+                f"{count}"
+            )
+    return moved
+
+
+# -- flow-state ownership ---------------------------------------------------
+
+
+def _flow_state_get(self):
+    try:
+        return self.__dict__["state"]
+    except KeyError:
+        raise AttributeError("state") from None
+
+
+def _flow_state_set(self, value) -> None:
+    if "state" in self.__dict__ and _state is not None:
+        if _state.allow_depth == 0:
+            _violate(
+                f"direct assignment to {self!r}.state "
+                f"({self.__dict__['state']!r} -> {value!r}) outside the "
+                f"FlowTable state machine — use FlowTable.transition() / "
+                f"FlowConnection._transition() so legality checks and "
+                f"telemetry fire (static counterpart: SIM006)"
+            )
+        _bump("flow_transition")
+    self.__dict__["state"] = value
+
+
+def _allowed_transition(orig):
+    def wrapper(self, *args, **kwargs):
+        _state.allow_depth += 1
+        try:
+            return orig(self, *args, **kwargs)
+        finally:
+            _state.allow_depth -= 1
+
+    return wrapper
+
+
+# -- install / uninstall ----------------------------------------------------
+
+
+def install() -> None:
+    """Arm every runtime check (idempotent)."""
+    global _state
+    if _state is not None:
+        return
+    from ..core.flows import ChannelFactory, FlowConnection, FlowTable
+    from ..sim.scheduler import Environment
+    from ..transports.base import Lane
+
+    state = _State()
+    state.orig_step = Environment.step
+    state.orig_run = Environment.run
+    state.orig_adopt = Lane.adopt
+    state.orig_transplant = ChannelFactory.transplant
+    state.orig_table_transition = FlowTable.transition
+    state.orig_flow_transition = FlowConnection._transition
+    _state = state
+
+    Environment.step = _checked_step
+    Environment.run = _checked_run
+    Lane.adopt = _checked_adopt
+    ChannelFactory.transplant = _checked_transplant
+    FlowTable.transition = _allowed_transition(state.orig_table_transition)
+    FlowConnection._transition = _allowed_transition(
+        state.orig_flow_transition)
+    # This is the guard installation itself, not a state write.
+    # simlint: disable=SIM006
+    FlowConnection.state = property(_flow_state_get, _flow_state_set)
+
+
+def uninstall() -> None:
+    """Restore the unsanitized fast paths (idempotent)."""
+    global _state
+    if _state is None:
+        return
+    from ..core.flows import ChannelFactory, FlowConnection, FlowTable
+    from ..sim.scheduler import Environment
+    from ..transports.base import Lane
+
+    Environment.step = _state.orig_step
+    Environment.run = _state.orig_run
+    Lane.adopt = _state.orig_adopt
+    ChannelFactory.transplant = _state.orig_transplant
+    FlowTable.transition = _state.orig_table_transition
+    FlowConnection._transition = _state.orig_flow_transition
+    delattr(FlowConnection, "state")
+    _state = None

@@ -200,7 +200,12 @@ class FreeFlowSocket:
         return decision
 
     def _post_initial_credits(self) -> None:
-        assert self._qp is not None and self._recv_mr is not None
+        if self._qp is None or self._recv_mr is None:
+            raise SocketError(
+                "socket has no queue pair / receive region — initial "
+                "credits are only posted after the connect handshake "
+                "allocated both"
+            )
         for _ in range(RECV_CREDITS):
             self._qp.post_recv(WorkRequest(
                 opcode=Opcode.RECV, length=MAX_FRAGMENT_BYTES,
@@ -284,7 +289,11 @@ class FreeFlowSocket:
 
     def _fill_rx_buffer(self):
         """Block for the next completed RECV and repost its credit."""
-        assert self._qp is not None
+        if self._qp is None:
+            raise SocketError(
+                "socket has no queue pair — receives require a connected "
+                "socket (invariant: _require_open precedes buffer fills)"
+            )
         wc = yield from self._qp.recv_cq.wait()
         if not wc.ok:
             raise SocketError(f"receive failed: {wc.status.value}")

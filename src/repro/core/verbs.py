@@ -329,7 +329,11 @@ class QueuePair:
             )
         if wr.opcode is not Opcode.RECV:
             raise VerbsError(f"post_recv got a {wr.opcode.value} WR")
-        assert wr.local_mr is not None  # enforced by WorkRequest
+        if wr.local_mr is None:
+            raise MemoryRegionError(
+                f"RECV WR {wr.wr_id} has no local memory region — "
+                "WorkRequest validation admits RECVs only with a landing MR"
+            )
         wr.local_mr.check_range(wr.local_offset, wr.length)
         self.rq.put(wr)
 

@@ -27,7 +27,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
-from ..errors import VerbsError
+from ..errors import MemoryRegionError, QueuePairStateError, VerbsError
 from ..sim.process import Interrupt
 from ..telemetry import registry as _registry
 from ..transports.base import ChannelEnd, Mechanism
@@ -55,6 +55,16 @@ VNIC_POST_OVERHEAD_CYCLES = 300.0
 
 #: Size of the control message a READ sends to the responder.
 READ_REQUEST_BYTES = 32
+
+
+def _require_connected(qp: QueuePair) -> None:
+    """Invariant: the vNIC engines only drive connected queue pairs."""
+    if qp.channel_end is None:
+        raise QueuePairStateError(
+            f"QP{qp.qp_num} has no bound channel end — the vNIC cannot "
+            "move data for an unconnected queue pair"
+        )
+
 
 #: Ack propagation delay by mechanism (sender WC fires this long after
 #: the remote side applied the operation).
@@ -215,7 +225,7 @@ class VirtualNic:
         if kind == "atomic_req":
             descriptor.payload = (wr.opcode, wr.compare_add, wr.swap)
         descriptor.done = self.env.event()
-        assert qp.channel_end is not None, "QP is not connected"
+        _require_connected(qp)
         if kind in ("read_req", "atomic_req"):
             # These complete when the response lands (rx engine); remember
             # the WR so the response can land in its local MR.
@@ -254,7 +264,7 @@ class VirtualNic:
 
     def _rx_loop(self, qp: QueuePair):
         while True:
-            assert qp.channel_end is not None
+            _require_connected(qp)
             message = yield from qp.channel_end.recv()
             descriptor: _Descriptor = message.payload
             if descriptor.kind == "send":
@@ -275,7 +285,11 @@ class VirtualNic:
     def _handle_send(self, qp: QueuePair, descriptor: _Descriptor):
         # RNR behaviour: block until the application posts a receive.
         recv_wr: WorkRequest = yield qp.rq.get()
-        assert recv_wr.local_mr is not None
+        if recv_wr.local_mr is None:
+            raise MemoryRegionError(
+                f"RECV WR {recv_wr.wr_id} has no local memory region — "
+                "WorkRequest validation admits RECVs only with a landing MR"
+            )
         if descriptor.length > recv_wr.length:
             descriptor.done.succeed(WcStatus.REMOTE_INVALID_REQUEST)
             qp.recv_cq.push(WorkCompletion(
@@ -340,7 +354,7 @@ class VirtualNic:
                     descriptor.remote_offset, descriptor.length
                 )
                 descriptor.done.succeed(WcStatus.SUCCESS)
-        assert qp.channel_end is not None
+        _require_connected(qp)
         size = max(1, descriptor.length) if response.imm_data is None else 1
         yield from qp.channel_end.send(size, payload=response)
 
@@ -377,7 +391,7 @@ class VirtualNic:
                     )
                 response.payload = old
                 descriptor.done.succeed(WcStatus.SUCCESS)
-        assert qp.channel_end is not None
+        _require_connected(qp)
         yield from qp.channel_end.send(8, payload=response)
 
     def _handle_atomic_response(self, qp: QueuePair,

@@ -21,6 +21,8 @@ __all__ = [
     "UnknownContainer",
     "PlacementError",
     "FlowStateError",
+    "EngineInvariantError",
+    "SanitizerViolation",
     "SocketError",
     "ConnectionRefused",
     "ConnectionReset",
@@ -98,6 +100,27 @@ class FlowStateError(OrchestrationError):
     Raised by :class:`repro.core.flows.FlowTable` when a caller asks for
     a transition the state machine does not permit (e.g. repairing a
     flow that never broke, or rebinding a closed flow).
+    """
+
+
+# -- engine / sanitizer --------------------------------------------------------
+
+
+class EngineInvariantError(FreeFlowError):
+    """An internal invariant of the discrete-event engine was violated.
+
+    Raised instead of a bare ``assert`` so the check survives ``python -O``
+    and names the broken invariant (simlint rule SIM007).
+    """
+
+
+class SanitizerViolation(EngineInvariantError):
+    """A runtime sanitizer check failed (``REPRO_SANITIZE=1``).
+
+    The sanitizer (:mod:`repro.analysis.sanitizer`) arms cheap invariant
+    hooks in the engine and flow layer: monotone sim clock, globally
+    ordered event pops, byte/stat conservation across channel transplants,
+    and FlowTable-only flow-state transitions.
     """
 
 

@@ -96,7 +96,11 @@ class OverlayRouter:
         """The single-threaded router loop (the Weave process)."""
         while True:
             message = yield self._queue.get()
-            assert message.dst is not None, "router needs a destination"
+            if message.dst is None:
+                raise RoutingError(
+                    "overlay router got a message with no destination "
+                    "(invariant: every routed message carries a dst address)"
+                )
             trace = (message.meta.get("trace")
                      if _tracer.ACTIVE is not None else None)
             mark = self.env.now
@@ -133,7 +137,11 @@ class OverlayRouter:
     def _tunnel_worker(self, peer: "OverlayRouter", queue: Store):
         """Serialises encapsulated traffic toward one peer router."""
         fabric = self.host.fabric
-        assert fabric is not None, "overlay needs hosts on a fabric"
+        if fabric is None:
+            raise RoutingError(
+                "overlay tunnel requires the host on a fabric (invariant: "
+                "inter-host tunnels only exist between fabric-attached hosts)"
+            )
         while True:
             message = yield queue.get()
             yield self.env.timeout(self.spec.traversal_latency_s)

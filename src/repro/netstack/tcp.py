@@ -164,7 +164,11 @@ class _Direction:
         elif self.src_host is self.dst_host:
             self.rx_queue.put(message)
         else:
-            assert self.tx_queue is not None
+            if self.tx_queue is None:
+                raise TransportError(
+                    "inter-host TCP lane has no tx queue (invariant: "
+                    "lanes where _needs_tx_worker() holds own a wire stage)"
+                )
             self.tx_queue.put(message)
 
     def _needs_tx_worker(self) -> bool:

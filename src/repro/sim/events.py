@@ -35,6 +35,8 @@ from __future__ import annotations
 from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
+from ..errors import EngineInvariantError
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .scheduler import Environment
 
@@ -187,7 +189,11 @@ class Event:
     def _mark_processed(self) -> list:
         """Detach and return callbacks; the event is now *processed*."""
         cbs = self._callbacks
-        assert cbs is not None
+        if cbs is None:
+            raise EngineInvariantError(
+                f"{self!r} processed twice — callbacks may be detached "
+                "only once per event"
+            )
         self._callbacks = None
         if cbs is NO_CALLBACKS:
             return []

@@ -20,8 +20,9 @@ pure; benchmarks may post-process with numpy.
 from __future__ import annotations
 
 import math
-import random
 from typing import TYPE_CHECKING, Iterable, Optional
+
+from .rand import RandomStream
 
 if TYPE_CHECKING:  # pragma: no cover
     from .scheduler import Environment
@@ -104,11 +105,14 @@ class Series:
         return len(self._samples)
 
     def add(self, sample: float) -> None:
+        # Unbounded by design: Series is the exact collector; memory-bounded
+        # callers use StreamingSeries below.  simlint: disable=SIM004
         self._samples.append(float(sample))
         self._sorted = None
 
     def extend(self, samples: Iterable[float]) -> None:
-        self._samples.extend(float(s) for s in samples)
+        # See add(): exact collection is this class's contract.
+        self._samples.extend(float(s) for s in samples)  # simlint: disable=SIM004
         self._sorted = None
 
     @property
@@ -204,7 +208,9 @@ class StreamingSeries:
         self._max = -math.inf
         self._capacity = reservoir
         self._reservoir: list[float] = []
-        self._rng = random.Random(seed)
+        # Replacement draws come from a seeded repro.sim.rand stream
+        # (SIM001): identical runs keep identical reservoirs.
+        self._rng = RandomStream(seed, "reservoir")
         self._sorted: Optional[list[float]] = None
 
     def __len__(self) -> int:

@@ -27,6 +27,14 @@ class RandomStream:
         digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
         self._rng = random.Random(int.from_bytes(digest[:8], "big"))
 
+    def random(self) -> float:
+        """A float in [0, 1) — the primitive behind sampling decisions."""
+        return self._rng.random()
+
+    def randrange(self, n: int) -> int:
+        """An int in [0, n) (reservoir-sampling slot selection)."""
+        return self._rng.randrange(n)
+
     def uniform(self, low: float, high: float) -> float:
         return self._rng.uniform(low, high)
 

@@ -36,6 +36,7 @@ from ..sim.monitor import StreamingSeries
 
 __all__ = [
     "ACTIVE",
+    "KNOWN_FAMILIES",
     "Counter",
     "Gauge",
     "Histogram",
@@ -48,6 +49,21 @@ __all__ = [
 
 #: The currently active registry, or None when metrics are disabled.
 ACTIVE: Optional["MetricsRegistry"] = None
+
+#: Metric families bumped from *outside* this module (push-style call
+#: sites: socket/MPI translation layers, the vNIC, the bench harness).
+#: The pull-style families (``repro.lane``, ``repro.host``,
+#: ``repro.orchestrator``, ``repro.flows``) are implied by the
+#: ``register_*`` methods below.  simlint's SIM005 rule cross-checks
+#: every metric-name literal in the tree against the union of both, so
+#: a typo'd namespace ("repro.sokcet.sends") fails the lint gate instead
+#: of silently minting a new family.
+KNOWN_FAMILIES = (
+    "repro.bench",
+    "repro.mpi",
+    "repro.socket",
+    "repro.vnic",
+)
 
 
 class Counter:

@@ -16,11 +16,11 @@ Design constraints, in order:
    with ``tracer.ACTIVE is None`` — one module-attribute load and a
    pointer compare per message, nothing else.  ``bench_telemetry.py``
    measures this (and the 1%/100% sampling cost) so CI can police it.
-2. **Deterministic sampling.**  Each flow gets its own RNG derived from
-   ``sha256(seed:flow)`` — the same scheme as
-   :class:`repro.sim.rand.RandomStream` — so two runs with the same seed
-   trace the *same* messages, and tracing one flow never perturbs the
-   sampling decisions of another.
+2. **Deterministic sampling.**  Each flow gets its own seeded
+   :class:`repro.sim.rand.RandomStream` (derived from ``sha256(seed:flow)``),
+   so two runs with the same seed trace the *same* messages, and tracing
+   one flow never perturbs the sampling decisions of another.  No tracer
+   randomness bypasses ``repro.sim.rand`` (simlint rule SIM001).
 3. **Bounded memory.**  At most ``max_traces_per_flow`` finished traces
    are kept per flow; excess messages are counted in ``dropped`` and not
    traced at all (cheaper than tracing and discarding).
@@ -31,10 +31,10 @@ calling :func:`enable` / :func:`disable` directly.
 
 from __future__ import annotations
 
-import hashlib
 import math
-import random
 from typing import Iterable, Optional
+
+from ..sim.rand import RandomStream
 
 __all__ = [
     "ACTIVE",
@@ -92,6 +92,8 @@ class MessageTrace:
 
     def add(self, name: str, start_s: float, end_s: float) -> None:
         """Record one named segment (absolute sim times)."""
+        # Bounded by the pipeline depth: one entry per hop of one message
+        # (~6 for the deepest mechanism).  simlint: disable=SIM004
         self.segments.append((name, start_s, end_s))
 
     @property
@@ -160,14 +162,18 @@ class Tracer:
         self.dropped = 0
         #: Sampling decisions made (traced + skipped), for rate checks.
         self.offered = 0
-        self._samplers: dict[str, random.Random] = {}
+        self._samplers: dict[str, RandomStream] = {}
         self._open = 0
 
     # -- sampling ---------------------------------------------------------
 
-    def _flow_rng(self, flow: str) -> random.Random:
-        digest = hashlib.sha256(f"{self.seed}:{flow}".encode()).digest()
-        return random.Random(int.from_bytes(digest[:8], "big"))
+    def _flow_rng(self, flow: str) -> RandomStream:
+        # One seeded stream per flow (sha256(seed:flow) derivation inside
+        # RandomStream — the same scheme this method used to hand-roll),
+        # so sampling decisions are replay-deterministic and independent
+        # across flows.  All tracer randomness flows through
+        # repro.sim.rand (simlint rule SIM001).
+        return RandomStream(self.seed, flow)
 
     def begin(
         self, flow: str, mechanism: str, now: float
@@ -201,6 +207,9 @@ class Tracer:
         trace.end_s = now
         self._open -= 1
         self.counts[trace.flow] = self.counts.get(trace.flow, 0) + 1
+        # Bounded upstream: begin() stops sampling a flow once it reaches
+        # max_traces_per_flow, so this list is capped at
+        # flows * max_traces_per_flow.  simlint: disable=SIM004
         self.traces.append(trace)
 
     def __len__(self) -> int:

@@ -87,7 +87,12 @@ class ShmLane(Lane):
 
     def _rx_copy_worker(self):
         """Receive-side memcpy stage (only when zero-copy is disabled)."""
-        assert self._rx_queue is not None
+        if self._rx_queue is None:
+            raise TransportError(
+                "shm rx copy worker started without an rx queue "
+                "(invariant: zero-copy lanes deliver directly and never "
+                "start this worker)"
+            )
         while True:
             message = yield self._rx_queue.get()
             trace = self._trace_of(message)
