@@ -7,10 +7,13 @@ Gives the library a zero-setup "does it work?" entry point:
 * ``python -m repro compare``  — FreeFlow vs every baseline, intra+inter
 * ``python -m repro trace``    — per-hop latency breakdown per mechanism
 
-Besides the demos there is one tool subcommand:
+Besides the demos there are two tool subcommands:
 
 * ``python -m repro lint``     — simlint static analysis (SIM001-SIM007);
   see :mod:`repro.analysis.cli` for flags (``--fail-on-new`` etc.)
+* ``python -m repro chaos``    — deterministic fault-injection scenarios
+  with invariant verification; see :mod:`repro.chaos.runner` for flags
+  (``--smoke``, ``--scenario``, ``--seed``, ``--json``, ``--list``)
 """
 
 from __future__ import annotations
@@ -324,10 +327,14 @@ def main(argv=None) -> int:
         from .analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from .chaos.runner import main as chaos_main
+
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="FreeFlow (HotNets'16) reproduction demos "
-                    "(plus the 'lint' tool subcommand)",
+                    "(plus the 'lint' and 'chaos' tool subcommands)",
     )
     parser.add_argument("demo", nargs="?", default="quickstart",
                         choices=sorted(DEMOS))

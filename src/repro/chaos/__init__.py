@@ -1,0 +1,53 @@
+"""Deterministic fault injection + resilience verification.
+
+``python -m repro chaos`` runs the named scenarios in
+:mod:`~repro.chaos.scenarios` — each a declarative fault timeline
+(:mod:`~repro.chaos.scenario`) over steady-state traffic, driven by the
+injectors in :mod:`~repro.chaos.faults` and judged by the invariant
+probes in :mod:`~repro.chaos.invariants`.  Same ``--seed``, same report,
+byte for byte.
+"""
+
+from .faults import (
+    FaultyKVStore,
+    HostInjector,
+    KernelPathFaults,
+    LinkInjector,
+    NicInjector,
+)
+from .invariants import (
+    Violation,
+    check_conservation,
+    check_convergence,
+    check_policy_freshness,
+    check_repair_time,
+    check_trace_consistency,
+)
+from .runner import ChaosHarness, main, run_many, run_scenario
+from .scenario import Placement, Scenario, Step, TrafficPair
+from .scenarios import SCENARIOS, SMOKE_SCENARIO, get
+
+__all__ = [
+    "ChaosHarness",
+    "FaultyKVStore",
+    "HostInjector",
+    "KernelPathFaults",
+    "LinkInjector",
+    "NicInjector",
+    "Placement",
+    "SCENARIOS",
+    "SMOKE_SCENARIO",
+    "Scenario",
+    "Step",
+    "TrafficPair",
+    "Violation",
+    "check_conservation",
+    "check_convergence",
+    "check_policy_freshness",
+    "check_repair_time",
+    "check_trace_consistency",
+    "get",
+    "main",
+    "run_many",
+    "run_scenario",
+]

@@ -1,0 +1,367 @@
+"""Fault injectors: controlled damage to existing layers, no forking.
+
+Each injector wraps one seam the production code already exposes —
+mutable :class:`~repro.hardware.bandwidth.BandwidthPipe` rates, the
+fabric's partition/heal pair, the kernel path's :data:`repro.netstack.
+tcp.FAULTS` hook, the orchestrator's NIC-capability registry, the
+cluster's host-failure API, and the KV store's ``_notify`` fan-out.
+Nothing here reimplements a layer; a scenario that passes with faults
+installed is evidence about the *real* code paths.
+
+Every stochastic decision draws from a named
+:class:`~repro.sim.rand.RandomStream`, so a scenario's fault timeline is
+a pure function of its seed.  Injectors count what they did both on
+themselves and into the ``repro.chaos.*`` metric family when a
+telemetry registry is active.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..cluster.container import ContainerSpec
+from ..cluster.kvstore import WatchEvent
+from ..netstack import tcp as _tcp
+from ..sim.rand import RandomStream
+from ..sim.resources import Store
+from ..telemetry.registry import counter_inc
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.kvstore import KeyValueStore, Watch
+    from ..cluster.orchestrator import ClusterOrchestrator
+    from ..core.network import FreeFlowNetwork
+    from ..hardware.host import Host
+    from ..hardware.link import Fabric
+
+__all__ = [
+    "LinkInjector",
+    "KernelPathFaults",
+    "NicInjector",
+    "HostInjector",
+    "FaultyKVStore",
+]
+
+
+class LinkInjector:
+    """Degrade, flap and partition the physical fabric.
+
+    Degradation mutates the per-NIC :class:`BandwidthPipe` rates, which
+    the pipes read per-chunk — a transfer in flight slows down
+    mid-message, exactly like a real link renegotiating speed.
+    Partitions delegate to :meth:`Fabric.partition`, which *parks*
+    cross-cut traffic (reliable link layer: retransmit until heal), so
+    byte conservation holds across any number of flaps.
+    """
+
+    def __init__(self, fabric: "Fabric") -> None:
+        self.fabric = fabric
+        self._original_rates: dict[int, tuple] = {}
+        self.degrades = 0
+        self.partitions = 0
+        self.heals = 0
+
+    def degrade_host(self, host: "Host", factor: float) -> None:
+        """Scale ``host``'s NIC egress+ingress rate by ``factor``."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        nic = host.nic
+        if id(nic) not in self._original_rates:
+            self._original_rates[id(nic)] = (
+                nic, nic.egress.rate_bytes, nic.ingress.rate_bytes
+            )
+        _, egress0, ingress0 = self._original_rates[id(nic)]
+        nic.egress.rate_bytes = egress0 * factor
+        nic.ingress.rate_bytes = ingress0 * factor
+        self.degrades += 1
+        counter_inc("repro.chaos.link.degrades")
+
+    def restore_rates(self) -> None:
+        """Undo every :meth:`degrade_host` (idempotent)."""
+        for nic, egress0, ingress0 in self._original_rates.values():
+            nic.egress.rate_bytes = egress0
+            nic.ingress.rate_bytes = ingress0
+        self._original_rates.clear()
+
+    def partition_hosts(self, side_a: Iterable["Host"],
+                        side_b: Iterable["Host"]) -> None:
+        """Cut the fabric between two sets of hosts (until :meth:`heal`)."""
+        self.fabric.partition(
+            [host.nic for host in side_a],
+            [host.nic for host in side_b],
+        )
+        self.partitions += 1
+        counter_inc("repro.chaos.link.partitions")
+
+    def heal(self) -> None:
+        """Clear all partitions; parked traffic resumes in order."""
+        self.fabric.heal()
+        self.heals += 1
+        counter_inc("repro.chaos.link.heals")
+
+
+class KernelPathFaults:
+    """Packet loss and reordering on the kernel TCP receive path.
+
+    Implements the :data:`repro.netstack.tcp.FAULTS` protocol.  Loss on
+    a reliable transport manifests as a retransmit *delay* (the frame is
+    recovered, ~one RTO later), so delivery counters still conserve;
+    reordering emerges naturally when one message is held past the ones
+    queued behind it.
+    """
+
+    def __init__(
+        self,
+        rng: RandomStream,
+        loss_p: float = 0.0,
+        rto_s: float = 200e-6,
+        reorder_p: float = 0.0,
+        jitter_s: float = 20e-6,
+    ) -> None:
+        if rto_s < 0 or jitter_s < 0:
+            raise ValueError("delays must be non-negative")
+        self.rng = rng
+        self.loss_p = loss_p
+        self.rto_s = rto_s
+        self.reorder_p = reorder_p
+        self.jitter_s = jitter_s
+        self.losses = 0
+        self.reorders = 0
+        self.passed = 0
+
+    # -- the tcp.FAULTS protocol --------------------------------------------
+
+    def rx_delay(self, lane, message) -> float:
+        """Hold time for one message entering a connection's rx queue."""
+        if self.loss_p and self.rng.bernoulli(self.loss_p):
+            self.losses += 1
+            counter_inc("repro.chaos.tcp.losses")
+            # 1-2 RTOs: an occasional double loss of the retransmission.
+            return self.rto_s * self.rng.uniform(1.0, 2.0)
+        if self.reorder_p and self.rng.bernoulli(self.reorder_p):
+            self.reorders += 1
+            counter_inc("repro.chaos.tcp.reorders")
+            return self.rng.uniform(0.0, self.jitter_s)
+        self.passed += 1
+        return 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def install(self) -> "KernelPathFaults":
+        if _tcp.FAULTS is not None:
+            raise RuntimeError("a kernel-path fault injector is already "
+                               "installed")
+        _tcp.FAULTS = self
+        return self
+
+    def uninstall(self) -> None:
+        if _tcp.FAULTS is self:
+            _tcp.FAULTS = None
+
+
+class NicInjector:
+    """NIC capability loss: RDMA/DPDK die (or degrade) at runtime.
+
+    Thin wrapper over the network orchestrator's capability registry —
+    the point is that *nothing else* is touched: the publish under
+    ``/network/nics/<host>`` must be enough for the reconciler to move
+    live flows onto the kernel fallback, and back after :meth:`restore`.
+    """
+
+    def __init__(self, network: "FreeFlowNetwork") -> None:
+        self.network = network
+        self.capability_faults = 0
+
+    def lose_bypass(self, host_name: str, rdma: bool = True,
+                    dpdk: bool = True) -> None:
+        """The bypass NIC features die on ``host_name``."""
+        self.network.orchestrator.set_nic_capability(
+            host_name,
+            rdma=False if rdma else None,
+            dpdk=False if dpdk else None,
+        )
+        self.capability_faults += 1
+        counter_inc("repro.chaos.nic.faults")
+
+    def degrade(self, host_name: str) -> None:
+        """Mark the host's whole bypass plumbing unreliable → kernel TCP."""
+        self.network.orchestrator.set_nic_capability(host_name,
+                                                     degraded=True)
+        self.capability_faults += 1
+        counter_inc("repro.chaos.nic.faults")
+
+    def restore(self, host_name: str) -> None:
+        """Everything works again on ``host_name``."""
+        self.network.orchestrator.set_nic_capability(
+            host_name, rdma=True, dpdk=True, degraded=False,
+        )
+        counter_inc("repro.chaos.nic.restores")
+
+
+class HostInjector:
+    """Host/agent crash-and-restart, plus container respawn.
+
+    Crash goes through :meth:`FreeFlowNetwork.handle_host_failure` (the
+    agent dies with the host: ``network._agents`` eviction happens in
+    the reconciler primitive) or — ``via_watch=True`` — through the
+    cluster orchestrator alone, so the *only* signal the network side
+    gets is the ``/cluster/hosts/`` DELETE.  The second form is what
+    exercises watch loss + resync recovery.
+    """
+
+    def __init__(self, network: "FreeFlowNetwork",
+                 cluster: "ClusterOrchestrator") -> None:
+        self.network = network
+        self.cluster = cluster
+        self.crashes = 0
+        self.restarts = 0
+        self.respawns = 0
+
+    def crash(self, host_name: str, via_watch: bool = False) -> list:
+        """Kill a host; returns the flows broken (empty for via_watch)."""
+        self.crashes += 1
+        counter_inc("repro.chaos.host.crashes")
+        if via_watch:
+            self.cluster.fail_host(host_name)
+            return []
+        return self.network.handle_host_failure(host_name)
+
+    def restart(self, host_name: str) -> None:
+        """The host machine comes back (empty: containers stay dead)."""
+        self.cluster.recover_host(host_name)
+        self.restarts += 1
+        counter_inc("repro.chaos.host.restarts")
+
+    def respawn(self, name: str, on_host: str, tenant: str = "default"):
+        """Schedule a replacement container and attach it to the overlay."""
+        container = self.cluster.submit(
+            ContainerSpec(name, tenant=tenant, pinned_host=on_host)
+        )
+        self.network.attach(container)
+        self.respawns += 1
+        counter_inc("repro.chaos.host.respawns")
+        return container
+
+
+class FaultyKVStore:
+    """Degrade a KV store's watch-notification fan-out.
+
+    Installs over an existing :class:`KeyValueStore` by hooking its
+    ``_notify`` — the *data* stays linearizable (puts/gets/CAS are
+    untouched), but the change feed degrades exactly like an unhealthy
+    etcd watch connection: deliveries can be **delayed** (serial FIFO
+    pump, so order is preserved), **dropped**, **duplicated**, or — via
+    :meth:`stall` — buffered wholesale until :meth:`heal`.  A stall is
+    the observable face of "puts stall": writers are synchronous in sim
+    time, so what their callers actually block on is the downstream
+    reaction, which a stalled feed withholds.
+
+    ``heal(resync=...)`` flushes the buffer in order and then replays
+    current state into the given watches (:meth:`Watch.resync`) — the
+    redelivery-on-reconnect hardening this PR adds.
+    """
+
+    def __init__(
+        self,
+        store: "KeyValueStore",
+        rng: RandomStream,
+        delay_s: float = 0.0,
+        jitter_s: float = 0.0,
+        drop_p: float = 0.0,
+        duplicate_p: float = 0.0,
+    ) -> None:
+        if delay_s < 0 or jitter_s < 0:
+            raise ValueError("delays must be non-negative")
+        self.store = store
+        self.rng = rng
+        self.delay_s = delay_s
+        self.jitter_s = jitter_s
+        self.drop_p = drop_p
+        self.duplicate_p = duplicate_p
+        self.delivered = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.stalled = 0
+        self._stalling = False
+        self._held: list[WatchEvent] = []
+        self._orig_notify = None
+        self._pipe: Optional[Store] = None
+
+    @property
+    def installed(self) -> bool:
+        return self._orig_notify is not None
+
+    def install(self) -> "FaultyKVStore":
+        if self.installed:
+            return self
+        self._orig_notify = self.store._notify
+        self.store._notify = self._notify
+        if self.delay_s or self.jitter_s:
+            self._pipe = Store(self.store.env)
+            self.store.env.process(self._pump())
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the store's own fan-out (held events are flushed)."""
+        if not self.installed:
+            return
+        self.heal()
+        self.store._notify = self._orig_notify
+        self._orig_notify = None
+
+    # -- fault controls ------------------------------------------------------
+
+    def stall(self) -> None:
+        """Buffer every notification until :meth:`heal`."""
+        self._stalling = True
+
+    def heal(self, resync: Iterable["Watch"] = ()) -> int:
+        """End a stall: flush held events in order, then replay state
+        into ``resync`` watches.  Returns events flushed + replayed."""
+        self._stalling = False
+        held = list(self._held)
+        self._held.clear()
+        for event in held:
+            self._deliver(event)
+        replayed = 0
+        for watch in resync:
+            replayed += watch.resync()
+        counter_inc("repro.chaos.kv.heals")
+        return len(held) + replayed
+
+    # -- the hooked fan-out --------------------------------------------------
+
+    def _notify(self, event: WatchEvent) -> None:
+        if self._stalling:
+            self._held.append(event)
+            self.stalled += 1
+            counter_inc("repro.chaos.kv.stalled")
+            return
+        if self.drop_p and self.rng.bernoulli(self.drop_p):
+            self.dropped += 1
+            counter_inc("repro.chaos.kv.dropped")
+            return
+        self._deliver(event)
+        if self.duplicate_p and self.rng.bernoulli(self.duplicate_p):
+            self.duplicated += 1
+            counter_inc("repro.chaos.kv.duplicated")
+            self._deliver(event)
+
+    def _deliver(self, event: WatchEvent) -> None:
+        if self._pipe is not None:
+            self._pipe.put(event)
+        else:
+            self.delivered += 1
+            self._orig_notify(event)
+
+    def _pump(self):
+        """Serial delay stage: every delivery waits, order preserved."""
+        env = self.store.env
+        while True:
+            event = yield self._pipe.get()
+            delay = self.delay_s
+            if self.jitter_s:
+                delay += self.rng.uniform(0.0, self.jitter_s)
+            if delay > 0:
+                yield env.timeout(delay)
+            self.delivered += 1
+            self._orig_notify(event)

@@ -1,0 +1,128 @@
+"""The scenario DSL: a declarative fault timeline over steady traffic.
+
+A :class:`Scenario` is pure data — topology, traffic matrix, a sorted
+list of timed :class:`Step` actions, and the invariant knobs the runner
+checks at the end.  Actions receive the live
+:class:`~repro.chaos.runner.ChaosHarness` and may be plain callables or
+generators (run inline in the timeline process, so a step can wait for
+the reconciler to settle before the next fault lands).
+
+Keeping scenarios declarative buys two things: the runner can print an
+accurate schedule without executing anything, and determinism is easy to
+audit — the only stochastic inputs are the named streams the harness
+derives from the experiment seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+__all__ = [
+    "Placement",
+    "TrafficPair",
+    "Step",
+    "Scenario",
+    "CONSERVATION_MODES",
+]
+
+#: ``exact``  — every message sent must be received (reliable transport,
+#:             no endpoint death): sent == received per pair.
+#: ``no-forge`` — endpoints may die with messages in flight: received
+#:             <= sent per pair, and nothing may be received twice
+#:             (the count can never exceed what was sent).
+CONSERVATION_MODES = ("exact", "no-forge")
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One container: where it starts and which tenant owns it."""
+
+    name: str
+    host: str
+    tenant: str = "default"
+
+
+@dataclass(frozen=True)
+class TrafficPair:
+    """One steady-state flow: src sends fixed-size messages to dst."""
+
+    src: str
+    dst: str
+    message_bytes: int = 4096
+    interval_s: float = 20e-6
+
+    @property
+    def label(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One timed fault (or probe) on the scenario timeline."""
+
+    at_s: float
+    label: str
+    action: Callable
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError(f"step {self.label!r}: at_s must be >= 0")
+        if not callable(self.action):
+            raise TypeError(f"step {self.label!r}: action must be callable")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, self-contained resilience experiment."""
+
+    name: str
+    description: str
+    hosts: int
+    containers: Tuple[Placement, ...]
+    traffic: Tuple[TrafficPair, ...]
+    steps: Tuple[Step, ...]
+    duration_s: float
+    #: Which conservation invariant applies (see CONSERVATION_MODES).
+    conservation: str = "exact"
+    #: Max BROKEN -> ACTIVE repair latency before the probe flags it.
+    repair_bound_s: float = 0.02
+    #: At the end, each ACTIVE flow's mechanism must match a fresh
+    #: policy decision (no flow left on a stale choice).
+    check_policy_freshness: bool = True
+    #: Ceiling on the post-traffic quiesce wait.
+    quiesce_deadline_s: float = 0.1
+    #: Optional pre-traffic hook (install injectors, shape topology).
+    prepare: Optional[Callable] = None
+
+    def __post_init__(self) -> None:
+        if self.hosts < 1:
+            raise ValueError("scenario needs at least one host")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.conservation not in CONSERVATION_MODES:
+            raise ValueError(
+                f"conservation must be one of {CONSERVATION_MODES}, "
+                f"got {self.conservation!r}"
+            )
+        if list(self.steps) != sorted(self.steps, key=lambda s: s.at_s):
+            raise ValueError(f"scenario {self.name!r}: steps must be "
+                             "sorted by at_s")
+        if any(step.at_s > self.duration_s for step in self.steps):
+            raise ValueError(f"scenario {self.name!r}: step beyond "
+                             "duration_s")
+        names = [p.name for p in self.containers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"scenario {self.name!r}: duplicate "
+                             "container names")
+        known = set(names)
+        for pair in self.traffic:
+            if pair.src not in known or pair.dst not in known:
+                raise ValueError(
+                    f"scenario {self.name!r}: traffic pair "
+                    f"{pair.label} references unknown containers"
+                )
+
+    def schedule(self) -> list:
+        """(at_s, label) rows — printable without executing anything."""
+        return [(step.at_s, step.label) for step in self.steps]

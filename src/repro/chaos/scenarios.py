@@ -1,0 +1,405 @@
+"""The named resilience scenarios (``python -m repro chaos --list``).
+
+Each factory returns a fresh :class:`~repro.chaos.scenario.Scenario`;
+the catalogue order is the run order, and ``nic-loss-midflow`` doubles
+as the CI smoke gate (fast, zero tolerated violations).  Scenario
+actions receive the live :class:`~repro.chaos.runner.ChaosHarness` —
+see that class for the attributes (``nic``, ``hosts``, ``link``,
+``kv_faults`` …) the closures below use.
+
+Timings are sim-seconds.  The scale (single-digit milliseconds) is
+enough for thousands of messages per flow at the default 20 us send
+interval while keeping every scenario sub-second in wall time.
+"""
+
+from __future__ import annotations
+
+from .faults import FaultyKVStore, KernelPathFaults
+from .scenario import Placement, Scenario, Step, TrafficPair
+
+__all__ = ["SCENARIOS", "SMOKE_SCENARIO", "get"]
+
+
+# -- nic-loss-midflow (the smoke gate) -----------------------------------------
+
+
+def _nic_loss_midflow() -> Scenario:
+    """RDMA dies under live flows; policy degrades to kernel TCP and back."""
+
+    def lose(harness):
+        harness.nic.lose_bypass("host1")
+
+    def restore(harness):
+        harness.nic.restore("host1")
+
+    return Scenario(
+        name="nic-loss-midflow",
+        description="RDMA+DPDK die on host1 mid-flow; flows fall back to "
+                    "kernel TCP, then return when the NIC recovers",
+        hosts=2,
+        containers=(
+            Placement("web", "host0"),
+            Placement("cache", "host0"),
+            Placement("db", "host1"),
+        ),
+        traffic=(
+            TrafficPair("web", "db"),
+            TrafficPair("cache", "db"),
+        ),
+        steps=(
+            Step(0.001, "host1 loses RDMA+DPDK", lose),
+            Step(0.003, "host1 NIC recovers", restore),
+        ),
+        duration_s=0.005,
+        conservation="exact",
+    )
+
+
+# -- host-crash-storm ----------------------------------------------------------
+
+
+def _host_crash_storm() -> Scenario:
+    """Two hosts die in sequence; replacements respawn; flows auto-repair."""
+
+    def crash_host2(harness):
+        harness.hosts.crash("host2")
+
+    def respawn_db(harness):
+        harness.hosts.respawn("db", on_host="host3")
+
+    def crash_host1(harness):
+        harness.hosts.crash("host1")
+
+    def respawn_cache(harness):
+        harness.hosts.respawn("cache", on_host="host0")
+
+    def recover_machines(harness):
+        harness.hosts.restart("host1")
+        harness.hosts.restart("host2")
+
+    return Scenario(
+        name="host-crash-storm",
+        description="host2 then host1 crash under load; containers "
+                    "respawn elsewhere and the reconciler repairs every "
+                    "flow without caller involvement",
+        hosts=4,
+        containers=(
+            Placement("web", "host0"),
+            Placement("cache", "host1"),
+            Placement("db", "host2"),
+            Placement("worker", "host3"),
+        ),
+        traffic=(
+            TrafficPair("web", "cache"),
+            TrafficPair("web", "db"),
+            TrafficPair("worker", "db"),
+        ),
+        steps=(
+            Step(0.001, "host2 crashes (db lost)", crash_host2),
+            Step(0.0013, "db respawns on host3", respawn_db),
+            Step(0.0025, "host1 crashes (cache lost)", crash_host1),
+            Step(0.0028, "cache respawns on host0", respawn_cache),
+            Step(0.004, "crashed machines rejoin (empty)", recover_machines),
+        ),
+        duration_s=0.006,
+        conservation="no-forge",
+        repair_bound_s=0.003,
+    )
+
+
+# -- control-plane-partition ---------------------------------------------------
+
+
+def _control_plane_partition() -> Scenario:
+    """Both KV stores stall; a migration happens in the dark; heal+resync."""
+
+    def prepare(harness):
+        harness.add_kv_fault(
+            "net", FaultyKVStore(harness.network.orchestrator.kv,
+                                 harness.stream("kv.net")).install()
+        )
+        harness.add_kv_fault(
+            "cluster", FaultyKVStore(harness.cluster.kv,
+                                     harness.stream("kv.cluster")).install()
+        )
+
+    def stall(harness):
+        for fault in harness.kv_faults.values():
+            fault.stall()
+
+    def relocate_in_the_dark(harness):
+        harness.cluster.relocate("cache", "host1")
+        harness.network.orchestrator.refresh_location("cache")
+
+    def heal_and_resync(harness):
+        for fault in harness.kv_faults.values():
+            fault.heal()
+        harness.network.reconciler.resync()
+        yield from harness.network.reconciler.wait_settled()
+
+    return Scenario(
+        name="control-plane-partition",
+        description="the watch fan-out of both KV stores stalls; a "
+                    "container migrates while the reconciler is blind; "
+                    "heal + resync converge everything",
+        hosts=3,
+        containers=(
+            Placement("web", "host0"),
+            Placement("db", "host1"),
+            Placement("cache", "host2"),
+        ),
+        traffic=(
+            TrafficPair("web", "db"),
+            TrafficPair("web", "cache"),
+        ),
+        steps=(
+            Step(0.001, "control plane partitions (watches stall)", stall),
+            Step(0.0015, "cache migrates host2 -> host1 (unseen)",
+                 relocate_in_the_dark),
+            Step(0.003, "partition heals; reconciler resyncs",
+                 heal_and_resync),
+        ),
+        duration_s=0.005,
+        conservation="exact",
+        prepare=prepare,
+    )
+
+
+# -- watch-delay ---------------------------------------------------------------
+
+
+def _watch_delay() -> Scenario:
+    """Jittered, duplicated watch deliveries; pumps must stay idempotent."""
+
+    def prepare(harness):
+        harness.add_kv_fault(
+            "net", FaultyKVStore(
+                harness.network.orchestrator.kv, harness.stream("kv.net"),
+                delay_s=300e-6, jitter_s=200e-6, duplicate_p=0.3,
+            ).install()
+        )
+
+    def lose_rdma(harness):
+        harness.nic.lose_bypass("host1", dpdk=False)
+
+    def restore_rdma(harness):
+        harness.nic.restore("host1")
+
+    def relocate_cache(harness):
+        harness.cluster.relocate("cache", "host0")
+        harness.network.orchestrator.refresh_location("cache")
+
+    return Scenario(
+        name="watch-delay",
+        description="every network-KV watch delivery arrives late (with "
+                    "jitter) and 30% arrive twice; capability changes and "
+                    "a migration still converge exactly once",
+        hosts=3,
+        containers=(
+            Placement("web", "host0"),
+            Placement("db", "host1"),
+            Placement("cache", "host1"),
+        ),
+        traffic=(
+            TrafficPair("web", "db"),
+            TrafficPair("web", "cache"),
+        ),
+        steps=(
+            Step(0.001, "host1 loses RDMA (late news)", lose_rdma),
+            Step(0.0025, "host1 RDMA recovers", restore_rdma),
+            Step(0.004, "cache migrates host1 -> host0", relocate_cache),
+        ),
+        duration_s=0.006,
+        conservation="exact",
+        prepare=prepare,
+    )
+
+
+# -- link-flap -----------------------------------------------------------------
+
+
+def _link_flap() -> Scenario:
+    """The inter-host path flaps; a long outage degrades to kernel TCP."""
+
+    def cut(harness):
+        harness.link.partition_hosts(
+            [harness.host("host0")], [harness.host("host1")]
+        )
+
+    def mend(harness):
+        harness.link.heal()
+
+    def degrade_flag(harness):
+        harness.nic.degrade("host1")
+
+    def slow_nic(harness):
+        harness.link.degrade_host(harness.host("host1"), 0.25)
+
+    def full_recovery(harness):
+        harness.link.restore_rates()
+        harness.nic.restore("host1")
+
+    return Scenario(
+        name="link-flap",
+        description="the host0|host1 fabric path flaps twice; during the "
+                    "second outage host1 is marked degraded (flows move "
+                    "to kernel TCP) and its NIC rate drops to 25%; full "
+                    "recovery restores RDMA",
+        hosts=2,
+        containers=(
+            Placement("web", "host0"),
+            Placement("db", "host1"),
+        ),
+        traffic=(
+            TrafficPair("web", "db"),
+        ),
+        steps=(
+            Step(0.001, "fabric partition host0|host1", cut),
+            Step(0.0013, "partition heals", mend),
+            Step(0.0018, "partition again", cut),
+            Step(0.002, "host1 marked degraded (rebind to TCP queued)",
+                 degrade_flag),
+            Step(0.0024, "partition heals; rebind drains through", mend),
+            Step(0.003, "host1 NIC degrades to 25% rate", slow_nic),
+            Step(0.004, "full recovery (rates + degraded flag)",
+                 full_recovery),
+        ),
+        duration_s=0.006,
+        conservation="exact",
+    )
+
+
+# -- lossy-kernel-path ---------------------------------------------------------
+
+
+def _lossy_kernel_path() -> Scenario:
+    """Untrusted tenants on a lossy kernel path: loss burst, still exact."""
+
+    def prepare(harness):
+        harness.kernel_faults = KernelPathFaults(
+            harness.stream("tcp.faults"),
+            loss_p=0.03, rto_s=200e-6, reorder_p=0.08, jitter_s=30e-6,
+        ).install()
+
+    def loss_burst(harness):
+        harness.kernel_faults.loss_p = 0.15
+
+    def loss_subsides(harness):
+        harness.kernel_faults.loss_p = 0.01
+
+    return Scenario(
+        name="lossy-kernel-path",
+        description="cross-tenant flows pinned to kernel TCP ride 3-15% "
+                    "loss (retransmit delay) and 8% reordering; delivery "
+                    "stays exact and in order per connection",
+        hosts=2,
+        containers=(
+            Placement("api", "host0", tenant="blue"),
+            Placement("web", "host0", tenant="blue"),
+            Placement("db", "host1", tenant="red"),
+        ),
+        traffic=(
+            TrafficPair("api", "db", interval_s=40e-6),
+            TrafficPair("web", "db", interval_s=40e-6),
+        ),
+        steps=(
+            Step(0.002, "loss burst to 15%", loss_burst),
+            Step(0.0035, "loss subsides to 1%", loss_subsides),
+        ),
+        duration_s=0.006,
+        conservation="exact",
+        prepare=prepare,
+    )
+
+
+# -- kv-watch-drop -------------------------------------------------------------
+
+
+def _kv_watch_drop() -> Scenario:
+    """Half of all watch deliveries vanish; resync makes the state whole."""
+
+    def prepare(harness):
+        harness.add_kv_fault(
+            "net", FaultyKVStore(
+                harness.network.orchestrator.kv,
+                harness.stream("kv.net"), drop_p=0.5,
+            ).install()
+        )
+        harness.add_kv_fault(
+            "cluster", FaultyKVStore(
+                harness.cluster.kv,
+                harness.stream("kv.cluster"), drop_p=0.5,
+            ).install()
+        )
+
+    def lose_rdma(harness):
+        harness.nic.lose_bypass("host1", dpdk=False)
+
+    def crash_unannounced(harness):
+        # Only the (50% lossy) host watch can tell the network side.
+        harness.hosts.crash("host2", via_watch=True)
+
+    def reconnect_and_resync(harness):
+        for fault in harness.kv_faults.values():
+            fault.uninstall()
+        harness.network.reconciler.resync()
+        yield from harness.network.reconciler.wait_settled()
+
+    def respawn_cache(harness):
+        harness.hosts.respawn("cache", on_host="host0")
+
+    return Scenario(
+        name="kv-watch-drop",
+        description="50% of watch deliveries are dropped; host2 dies with "
+                    "only the lossy watch to announce it; reconnect + "
+                    "resync synthesize the missed events and repairs land",
+        hosts=3,
+        containers=(
+            Placement("web", "host0"),
+            Placement("db", "host1"),
+            Placement("cache", "host2"),
+        ),
+        traffic=(
+            TrafficPair("web", "db"),
+            TrafficPair("web", "cache"),
+        ),
+        steps=(
+            Step(0.001, "host1 loses RDMA (maybe unheard)", lose_rdma),
+            Step(0.002, "host2 crashes, watch-only announcement",
+                 crash_unannounced),
+            Step(0.003, "watch connection re-established; resync",
+                 reconnect_and_resync),
+            Step(0.0033, "cache respawns on host0", respawn_cache),
+        ),
+        duration_s=0.0055,
+        conservation="no-forge",
+        repair_bound_s=0.004,
+        prepare=prepare,
+    )
+
+
+#: Catalogue, in run order.  The first entry is the CI smoke gate.
+SCENARIOS = {
+    factory().name: factory
+    for factory in (
+        _nic_loss_midflow,
+        _host_crash_storm,
+        _control_plane_partition,
+        _watch_delay,
+        _link_flap,
+        _lossy_kernel_path,
+        _kv_watch_drop,
+    )
+}
+
+SMOKE_SCENARIO = "nic-loss-midflow"
+
+
+def get(name: str) -> Scenario:
+    """Build a fresh Scenario by name (KeyError lists what exists)."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+    return factory()

@@ -6,7 +6,7 @@ etcd-like KV store whose watches feed FreeFlow's network orchestrator.
 
 from .container import Container, ContainerSpec, ContainerStatus
 from .fabric import FabricController
-from .kvstore import KeyValueStore, Watch, WatchEvent
+from .kvstore import ABSENT, KeyValueStore, Watch, WatchEvent
 from .orchestrator import ClusterOrchestrator
 from .scheduler import (
     AffinityStrategy,
@@ -17,6 +17,7 @@ from .scheduler import (
 )
 
 __all__ = [
+    "ABSENT",
     "AffinityStrategy",
     "BinPackStrategy",
     "ClusterOrchestrator",

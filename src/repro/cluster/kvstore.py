@@ -24,7 +24,28 @@ from ..sim.resources import Store
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.scheduler import Environment
 
-__all__ = ["KeyValueStore", "WatchEvent", "Watch"]
+__all__ = ["ABSENT", "KeyValueStore", "WatchEvent", "Watch"]
+
+
+class _Absent:
+    """Sentinel for :meth:`KeyValueStore.compare_and_put`: "the key must
+    not exist".  A dedicated singleton (rather than ``None``) so a key
+    explicitly stored as ``None`` can still be CAS-updated."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Absent":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<ABSENT>"
+
+
+#: Pass as ``expected`` to :meth:`KeyValueStore.compare_and_put` to mean
+#: create-if-absent.
+ABSENT = _Absent()
 
 
 @dataclass(frozen=True)
@@ -59,6 +80,24 @@ class Watch:
     def cancel(self) -> None:
         self.cancelled = True
         self._store._watches.discard(self)
+
+    def resync(self) -> int:
+        """Replay the current state under the prefix into the queue.
+
+        The reconnect primitive: a watcher that suspects it missed
+        deliveries (its connection to the store was dropped, delayed or
+        lossy) calls ``resync()`` and receives one synthetic PUT per
+        live key, at the store's current revision, through the same
+        queue as live changes — etcd's "watch from the current revision
+        after a compaction" dance.  Deletions that were missed do not
+        replay (the key is gone); consumers that track a view must diff
+        it against the replayed set (see
+        :meth:`repro.core.flows.FlowReconciler.resync`).  Returns the
+        number of events queued; a cancelled watch replays nothing.
+        """
+        if self.cancelled:
+            return 0
+        return self._store.resync(self)
 
 
 class KeyValueStore:
@@ -116,20 +155,34 @@ class KeyValueStore:
         watch = Watch(self, prefix)
         self._watches.add(watch)
         if include_existing:
-            for key in self.keys(prefix):
-                watch.queue.put(
-                    WatchEvent("put", key, self._data[key], self.revision)
-                )
+            self.resync(watch)
         return watch
 
     def compare_and_put(self, key: str, expected: Any, value: Any) -> bool:
-        """Atomic update: succeeds only if the current value == expected
-        (use ``expected=None`` for create-if-absent)."""
-        current = self._data.get(key)
-        if current != expected:
+        """Atomic update: succeeds only if the current value equals
+        ``expected`` (use the :data:`ABSENT` sentinel for
+        create-if-absent).
+
+        ``expected=None`` means "the key holds a stored ``None``" — it
+        does *not* match a missing key, so a create/update race on a
+        ``None``-valued key cannot be mistaken for creation.
+        """
+        current = self._data.get(key, ABSENT)
+        if current is not expected and current != expected:
             return False
         self.put(key, value)
         return True
+
+    def resync(self, watch: Watch) -> int:
+        """Queue a snapshot of ``watch``'s prefix as synthetic PUTs
+        (see :meth:`Watch.resync`)."""
+        count = 0
+        for key in self.keys(watch.prefix):
+            watch.queue.put(
+                WatchEvent("put", key, self._data[key], self.revision)
+            )
+            count += 1
+        return count
 
     # -- internals ------------------------------------------------------------
 

@@ -34,7 +34,14 @@ import enum
 import itertools
 from typing import TYPE_CHECKING, Optional
 
-from ..errors import ConnectionReset, FlowStateError, UnknownContainer
+from ..errors import (
+    ConnectionReset,
+    FlowStateError,
+    FreeFlowError,
+    UnknownContainer,
+)
+from ..sim.backoff import Backoff
+from ..sim.rand import RandomStream
 from ..telemetry import events as _events
 from ..transports.base import DuplexChannel, Mechanism
 from .agent import build_channel
@@ -456,10 +463,17 @@ class FlowReconciler:
     DRAIN_POLL_S = 100e-6
     SETTLE_POLL_S = 100e-6
 
-    def __init__(self, network: "FreeFlowNetwork") -> None:
+    def __init__(self, network: "FreeFlowNetwork",
+                 backoff: Optional[Backoff] = None) -> None:
         self.network = network
         self.env = network.env
         self.table = network.flows
+        #: Retry schedule for rebind/repair attempts.  Seeded (stream
+        #: name, not wall clock), so runs are reproducible; pass a
+        #: custom :class:`~repro.sim.backoff.Backoff` to retune.
+        self.backoff = backoff or Backoff(
+            RandomStream(0, "reconciler.backoff")
+        )
         self.running = False
         self._watches: list = []
         self._procs: list = []
@@ -471,6 +485,9 @@ class FlowReconciler:
         self.reconciliations = 0
         self.capability_rechecks = 0
         self.failures_handled = 0
+        self.retries = 0
+        self.gave_up = 0
+        self.resyncs = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -505,6 +522,46 @@ class FlowReconciler:
         self._watches = []
         self._procs = []
         _events.emit(self.env, "reconciler.stop")
+
+    def resync(self) -> int:
+        """Recover after suspected missed watch deliveries (reconnect).
+
+        A lossy or stalled control-plane connection can eat watch
+        events; snapshot replay (:meth:`Watch.resync`) recovers missed
+        PUTs but cannot express missed DELETEs, so this first diffs KV
+        truth against the reconciler's last-seen view and synthesizes
+        them: hosts our flows still believe in but absent from the
+        liveness registry are treated as failed, and container names we
+        track but the store no longer publishes are dropped.  Then each
+        live watch replays its prefix, and the ordinary pumps converge
+        the rest (moved placements, repair-unblocking arrivals) exactly
+        as they would live events.  Returns the number of replayed
+        events; follow with :meth:`wait_settled` to await convergence.
+        """
+        if not self.running:
+            return 0
+        self.resyncs += 1
+        live_hosts = {
+            key.rsplit("/", 1)[-1]
+            for key in self.network.cluster.kv.keys("/cluster/hosts/")
+        }
+        believed = {
+            host for host, _gen in self._locations.values()
+            if host is not None
+        }
+        for host_name in sorted(believed - live_hosts):
+            self.host_failed(host_name)
+        published = {
+            key.rsplit("/", 1)[-1]
+            for key in self.network.orchestrator.kv.keys(
+                "/network/containers/"
+            )
+        }
+        for name in sorted(set(self._locations) - published):
+            self._locations.pop(name, None)
+        replayed = sum(watch.resync() for watch in self._watches)
+        _events.emit(self.env, "reconciler.resync", replayed=replayed)
+        return replayed
 
     # -- watch pumps ---------------------------------------------------------
 
@@ -580,6 +637,41 @@ class FlowReconciler:
                 quiet += 1
             yield self.env.timeout(self.DRAIN_POLL_S)
 
+    def _rebind_with_retry(self, flow: FlowConnection, reraise: bool = False):
+        """Generator: :meth:`FreeFlowNetwork.rebind` with seeded backoff.
+
+        A failed rebind leaves the flow BROKEN (the rebind path's own
+        failure transition), so each retry is a legal BROKEN → REBINDING
+        attempt after a jittered-exponential wait.  Returns the fresh
+        decision; returns ``None`` when the flow moved on underneath us
+        (:class:`FlowStateError`: closed, or claimed by another handler)
+        or when retries are exhausted — the flow is then left BROKEN for
+        a later repair pass.  With ``reraise=True`` exhaustion re-raises
+        the last error instead (the contract of the direct repair API).
+        """
+        attempt = 0
+        while True:
+            try:
+                decision = yield from self.network.rebind(flow)
+                return decision
+            except FlowStateError:
+                if reraise:
+                    raise
+                return None
+            except FreeFlowError as exc:
+                if self.backoff.exhausted(attempt):
+                    self.gave_up += 1
+                    _events.emit(
+                        self.env, "flow.rebind.abandon", flow=flow.flow_id,
+                        error=type(exc).__name__, attempts=attempt + 1,
+                    )
+                    if reraise:
+                        raise
+                    return None
+                self.retries += 1
+                yield self.env.timeout(self.backoff.delay(attempt))
+                attempt += 1
+
     def reconcile_container(self, name: str):
         """Generator: an endpoint moved — converge its flows.
 
@@ -603,7 +695,9 @@ class FlowReconciler:
         yield from self.drain(affected)
         for flow in affected:
             old = flow.mechanism
-            decision = yield from network.rebind(flow)
+            decision = yield from self._rebind_with_retry(flow)
+            if decision is None:
+                continue
             self.rebinds += 1
             if decision.mechanism is not old:
                 changes.append((flow, old, decision.mechanism))
@@ -652,7 +746,9 @@ class FlowReconciler:
         yield from self.drain(stale)
         for flow in stale:
             old = flow.mechanism
-            decision = yield from network.rebind(flow)
+            decision = yield from self._rebind_with_retry(flow)
+            if decision is None:
+                continue
             self.rebinds += 1
             changes.append((flow, old, decision.mechanism))
         for flow in paused_by_me:
@@ -705,9 +801,10 @@ class FlowReconciler:
 
         The state machine enforces legality: repairing a flow that never
         broke raises :class:`~repro.errors.FlowStateError` at the
-        BROKEN → REBINDING gate.
+        BROKEN → REBINDING gate.  Transient build failures retry on the
+        seeded backoff schedule; exhaustion re-raises the last error.
         """
-        decision = yield from self.network.rebind(flow)
+        decision = yield from self._rebind_with_retry(flow, reraise=True)
         self.repairs += 1
         _events.emit(self.env, "flow.repair", src=flow.src_name,
                      dst=flow.dst_name,

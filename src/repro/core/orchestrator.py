@@ -193,14 +193,18 @@ class NetworkOrchestrator:
         host_name: str,
         rdma: Optional[bool] = None,
         dpdk: Optional[bool] = None,
+        degraded: Optional[bool] = None,
     ) -> dict:
         """Change a host's NIC capability bits in the registry at runtime.
 
         Models an operator draining (or re-enabling) a bypass feature —
         e.g. disabling RDMA on a host ahead of a firmware upgrade.  The
-        merged view is published under ``/network/nics/<host>`` so the
-        flow reconciler can re-decide affected flows; existing channels
-        are *not* torn down here (policy is control plane, not enforcement).
+        ``degraded`` bit is the blunter instrument: it forces every flow
+        touching the host onto kernel TCP regardless of the other bits
+        (see :meth:`MechanismPolicy.decide`).  The merged view is
+        published under ``/network/nics/<host>`` so the flow reconciler
+        can re-decide affected flows; existing channels are *not* torn
+        down here (policy is control plane, not enforcement).
         """
         self.cluster.host(host_name)  # validate the name
         override = self._nic_overrides.setdefault(host_name, {})
@@ -208,13 +212,17 @@ class NetworkOrchestrator:
             override["rdma"] = bool(rdma)
         if dpdk is not None:
             override["dpdk"] = bool(dpdk)
+        if degraded is not None:
+            override["degraded"] = bool(degraded)
         caps = self.nic_capabilities(host_name)
         self.kv.put(f"/network/nics/{host_name}", {
             "rdma": caps["rdma"],
             "dpdk": caps["dpdk"],
+            "degraded": bool(caps.get("degraded", False)),
         })
         _events.emit(self.env, "nic.capability", host=host_name,
-                     rdma=caps["rdma"], dpdk=caps["dpdk"])
+                     rdma=caps["rdma"], dpdk=caps["dpdk"],
+                     degraded=bool(caps.get("degraded", False)))
         return caps
 
     def containers_on(self, host_name: str) -> list[str]:

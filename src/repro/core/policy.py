@@ -84,6 +84,17 @@ class MechanismPolicy:
                 colocated, trusted,
             )
 
+        if self._degraded(src, caps) or self._degraded(dst, caps):
+            # Graceful degradation: an operator (or the chaos harness)
+            # marked a host's bypass plumbing unreliable, so every flow
+            # touching it takes the always-works kernel path until the
+            # flag clears — even the co-located shm case, since the
+            # FreeFlow agent on that host is suspect as a whole.
+            return PolicyDecision(
+                Mechanism.TCP, "degraded host: kernel TCP until healthy",
+                colocated, trusted,
+            )
+
         if colocated and self._shm_usable(src, dst):
             return PolicyDecision(
                 Mechanism.SHM, "co-located and trusted: shared memory",
@@ -133,6 +144,12 @@ class MechanismPolicy:
     def _vm_bypass_ok(container: Container) -> bool:
         """Kernel-bypass from inside a VM needs SR-IOV passthrough."""
         return container.vm is None or container.vm.sriov
+
+    @staticmethod
+    def _degraded(container: Container, capabilities: dict) -> bool:
+        """Registry ``degraded`` bit for the container's host."""
+        override = capabilities.get(container.host.name)
+        return bool(override and override.get("degraded"))
 
     @staticmethod
     def _cap(container: Container, capabilities: dict, key: str,

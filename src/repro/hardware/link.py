@@ -47,6 +47,10 @@ class Fabric:
         self._landing: dict[tuple[int, int], object] = {}
         #: Optional two-tier mode: rack membership + shared core pipe.
         self._racks: dict[int, str] = {}
+        #: Active partitions: (side_a, side_b) pairs of NIC id-sets whose
+        #: cross traffic is parked at the core stage until :meth:`heal`.
+        self._partitions: list[tuple[frozenset[int], frozenset[int]]] = []
+        self._heal_event = None
         if core_rate_bps is not None:
             from .bandwidth import BandwidthPipe
 
@@ -88,6 +92,49 @@ class Fabric:
         if src_rack is None or dst_rack is None:
             return False
         return src_rack != dst_rack
+
+    # -- partitions ----------------------------------------------------------
+
+    def partition(self, side_a, side_b) -> None:
+        """Cut connectivity between the NICs in ``side_a`` and ``side_b``.
+
+        In-flight and newly sent traffic crossing the cut is *parked* at
+        the fabric's core stage — not dropped — and resumes after
+        :meth:`heal`, modelling a reliable link layer that retransmits
+        until the path returns (byte conservation holds across the
+        outage).  Traffic within either side is unaffected.  Multiple
+        partitions stack; ``heal()`` clears them all.
+        """
+        a = frozenset(id(nic) for nic in side_a)
+        b = frozenset(id(nic) for nic in side_b)
+        if not a or not b:
+            raise ValueError("both partition sides must be non-empty")
+        if a & b:
+            raise ValueError("partition sides overlap")
+        self._partitions.append((a, b))
+
+    def heal(self) -> None:
+        """Remove every active partition and release parked traffic."""
+        self._partitions.clear()
+        event, self._heal_event = self._heal_event, None
+        if event is not None:
+            event.succeed()
+
+    def partitioned(self, src: "PhysicalNic", dst: "PhysicalNic") -> bool:
+        """True while ``src`` → ``dst`` traffic is cut by a partition."""
+        src_id, dst_id = id(src), id(dst)
+        for side_a, side_b in self._partitions:
+            if (src_id in side_a and dst_id in side_b) or (
+                src_id in side_b and dst_id in side_a
+            ):
+                return True
+        return False
+
+    def _healed(self):
+        """The event parked core workers wait on (created lazily)."""
+        if self._heal_event is None:
+            self._heal_event = self.env.event()
+        return self._heal_event
 
     @property
     def one_way_latency_s(self) -> float:
@@ -134,18 +181,25 @@ class Fabric:
             # Two chained stage workers per path: the core stage and the
             # ingress stage pipeline across messages while each stage
             # stays FIFO, so order is preserved at full stage rate.
-            self.env.process(self._core_worker(queue, ingress_queue))
+            self.env.process(self._core_worker(src, dst, queue, ingress_queue))
             self.env.process(self._ingress_worker(dst, ingress_queue))
         return queue
 
-    def _core_worker(self, queue, ingress_queue):
-        """Stage 1: propagation wait + (optional) shared-core traversal."""
+    def _core_worker(self, src, dst, queue, ingress_queue):
+        """Stage 1: propagation wait + (optional) shared-core traversal.
+
+        While a partition cuts this (src, dst) path the worker parks on
+        the fabric's heal event, holding the message (and everything
+        queued behind it, preserving order) until connectivity returns.
+        """
         while True:
             (arrival_at, wire_bytes, priority, deliver,
              crosses_core) = yield queue.get()
             wait = arrival_at - self.env.now
             if wait > 0:
                 yield self.env.timeout(wait)
+            while self.partitioned(src, dst):
+                yield self._healed()
             if crosses_core and self.core is not None:
                 yield from self.core.transfer(wire_bytes, priority=priority)
             ingress_queue.put((wire_bytes, priority, deliver))

@@ -37,7 +37,16 @@ from .packet import EndpointAddr, Message, segment_count
 if TYPE_CHECKING:  # pragma: no cover
     from ..hardware.host import Host
 
-__all__ = ["TcpMode", "TcpConnection", "TcpEnd", "TcpStats"]
+__all__ = ["FAULTS", "TcpMode", "TcpConnection", "TcpEnd", "TcpStats"]
+
+#: Process-wide fault-injection hook for the kernel receive path (the
+#: chaos subsystem's seam, mirroring ``telemetry.tracer.ACTIVE``).  When
+#: set to an object with ``rx_delay(lane, message) -> float``, every
+#: message entering a connection's rx queue may be held for that many
+#: seconds first.  A held message is delayed — never dropped — modelling
+#: loss + retransmit on a reliable transport (byte conservation holds);
+#: messages queued behind a held one overtake it, producing reordering.
+FAULTS = None
 
 
 class TcpMode(enum.Enum):
@@ -162,7 +171,7 @@ class _Direction:
         if self.src_router is not None:
             self.src_router.submit(message)
         elif self.src_host is self.dst_host:
-            self.rx_queue.put(message)
+            self._rx_enqueue(message)
         else:
             if self.tx_queue is None:
                 raise TransportError(
@@ -205,10 +214,25 @@ class _Direction:
             start = message.meta.pop("wire_start", None)
             if start is not None:
                 trace.add("wire", start, self.env.now)
-        self.rx_queue.put(message)
+        self._rx_enqueue(message)
 
     def _router_deliver(self, message: Message) -> None:
         """Entry point the destination overlay router delivers into."""
+        self._rx_enqueue(message)
+
+    def _rx_enqueue(self, message: Message) -> None:
+        """Feed the rx queue, honouring the :data:`FAULTS` hook."""
+        faults = FAULTS
+        if faults is not None:
+            delay = faults.rx_delay(self, message)
+            if delay > 0:
+                self.env.process(self._delayed_rx(message, delay))
+                return
+        self.rx_queue.put(message)
+
+    def _delayed_rx(self, message: Message, delay: float):
+        """Hold a "lost" frame for its retransmit delay, then deliver."""
+        yield self.env.timeout(delay)
         self.rx_queue.put(message)
 
     # -- receive path ----------------------------------------------------------------

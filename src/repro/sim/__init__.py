@@ -5,6 +5,7 @@ A from-scratch, SimPy-style process-interaction engine: generators yield
 virtual-time order.  See DESIGN.md §3.
 """
 
+from .backoff import Backoff
 from .events import AllOf, AnyOf, Condition, Event, EventAlreadyTriggered, Timeout
 from .monitor import (
     IntervalRecorder,
@@ -31,6 +32,7 @@ from .scheduler import EmptySchedule, Environment
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Backoff",
     "Condition",
     "EmptySchedule",
     "Environment",

@@ -1,0 +1,66 @@
+"""Seeded jittered-exponential backoff for retry loops.
+
+Control-plane retries (reconciler rebinds, repair passes) must not hammer
+a struggling dependency in lock-step: classic exponential backoff with
+*full jitter* (AWS architecture-blog style) decorrelates the retriers
+while keeping the expected wait growing geometrically.  Draws come from a
+named :class:`~repro.sim.rand.RandomStream`, so a given experiment seed
+produces byte-identical retry timings.
+"""
+
+from __future__ import annotations
+
+from .rand import RandomStream
+
+__all__ = ["Backoff"]
+
+
+class Backoff:
+    """A retry schedule: ``delay(attempt)`` for attempt 0, 1, 2, ...
+
+    ``delay(n)`` draws uniformly from ``[0, min(cap, base * factor**n)]``
+    (full jitter).  With ``jitter=False`` it returns the deterministic
+    ceiling instead — useful when a test wants exact timings.
+    """
+
+    def __init__(
+        self,
+        rng: RandomStream,
+        *,
+        base: float = 0.0005,
+        factor: float = 2.0,
+        cap: float = 0.05,
+        max_attempts: int = 6,
+        jitter: bool = True,
+    ) -> None:
+        if base <= 0:
+            raise ValueError(f"base must be positive, got {base}")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if cap < base:
+            raise ValueError(f"cap {cap} must be >= base {base}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.rng = rng
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+        self.max_attempts = max_attempts
+        self.jitter = jitter
+
+    def ceiling(self, attempt: int) -> float:
+        """The un-jittered upper bound for ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        return min(self.cap, self.base * self.factor**attempt)
+
+    def delay(self, attempt: int) -> float:
+        """The wait before retry number ``attempt`` (0-based)."""
+        ceiling = self.ceiling(attempt)
+        if not self.jitter:
+            return ceiling
+        return self.rng.uniform(0.0, ceiling)
+
+    def exhausted(self, attempt: int) -> bool:
+        """True once ``attempt`` retries have been spent."""
+        return attempt >= self.max_attempts

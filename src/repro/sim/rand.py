@@ -35,6 +35,12 @@ class RandomStream:
         """An int in [0, n) (reservoir-sampling slot selection)."""
         return self._rng.randrange(n)
 
+    def bernoulli(self, p: float) -> bool:
+        """True with probability ``p`` — fault-injection coin flips."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        return self._rng.random() < p
+
     def uniform(self, low: float, high: float) -> float:
         return self._rng.uniform(low, high)
 

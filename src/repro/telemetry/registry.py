@@ -60,6 +60,7 @@ ACTIVE: Optional["MetricsRegistry"] = None
 #: of silently minting a new family.
 KNOWN_FAMILIES = (
     "repro.bench",
+    "repro.chaos",
     "repro.mpi",
     "repro.socket",
     "repro.vnic",

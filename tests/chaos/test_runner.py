@@ -1,0 +1,79 @@
+"""End-to-end tests for the chaos runner and the scenario catalogue."""
+
+import json
+
+import pytest
+
+from repro.chaos import SCENARIOS, SMOKE_SCENARIO, get, run_scenario
+from repro.chaos.runner import main
+
+
+def test_catalogue_has_at_least_six_scenarios():
+    assert len(SCENARIOS) >= 6
+    assert SMOKE_SCENARIO in SCENARIOS
+
+
+def test_every_catalogue_entry_validates():
+    for name in SCENARIOS:
+        scenario = get(name)
+        assert scenario.name == name
+        assert scenario.steps
+
+
+def test_get_unknown_scenario_lists_known():
+    with pytest.raises(KeyError, match="known:"):
+        get("does-not-exist")
+
+
+def test_smoke_scenario_passes_clean():
+    report = run_scenario(get(SMOKE_SCENARIO), seed=1)
+    assert report["ok"]
+    assert report["violations"] == []
+    total_sent = sum(c["sent"] for c in report["traffic"].values())
+    assert total_sent > 0
+    # The NIC fault actually moved flows: rebinds happened both ways.
+    assert report["reconciler"]["rebinds"] >= 2
+    assert report["faults"]["nic"]["capability_faults"] >= 1
+
+
+def test_smoke_report_is_deterministic():
+    a = run_scenario(get(SMOKE_SCENARIO), seed=3)
+    b = run_scenario(get(SMOKE_SCENARIO), seed=3)
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def test_different_seed_changes_details_not_verdict():
+    a = run_scenario(get(SMOKE_SCENARIO), seed=1)
+    b = run_scenario(get(SMOKE_SCENARIO), seed=99)
+    assert a["ok"] and b["ok"]
+
+
+def test_report_shape():
+    report = run_scenario(get(SMOKE_SCENARIO), seed=1)
+    for key in ("scenario", "seed", "conservation_mode", "steps",
+                "traffic", "flows", "faults", "reconciler",
+                "transitions", "violations", "ok"):
+        assert key in report
+    for flow in report["flows"].values():
+        assert flow["state"] == "active"
+    assert report["transitions"] > 0
+
+
+def test_cli_list_exits_zero(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert SMOKE_SCENARIO in out
+
+
+def test_cli_unknown_scenario_exits_two(capsys):
+    assert main(["--scenario", "nope"]) == 2
+
+
+def test_cli_smoke_writes_json(tmp_path, capsys):
+    path = tmp_path / "report.json"
+    assert main(["--smoke", "--json", str(path)]) == 0
+    report = json.loads(path.read_text())
+    assert report["ok"]
+    assert [r["scenario"] for r in report["scenarios"]] == [SMOKE_SCENARIO]
+    out = capsys.readouterr().out
+    assert "PASS" in out

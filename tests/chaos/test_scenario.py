@@ -1,0 +1,80 @@
+"""Validation tests for the declarative scenario DSL."""
+
+import pytest
+
+from repro.chaos import Placement, Scenario, Step, TrafficPair
+
+
+def noop(harness):
+    pass
+
+
+def minimal(**overrides):
+    kwargs = dict(
+        name="t",
+        description="test scenario",
+        hosts=2,
+        containers=(Placement("a", "host0"), Placement("b", "host1")),
+        traffic=(TrafficPair("a", "b"),),
+        steps=(Step(0.001, "one", noop),),
+        duration_s=0.002,
+    )
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+def test_minimal_scenario_builds():
+    scenario = minimal()
+    assert scenario.conservation == "exact"
+    assert scenario.schedule() == [(0.001, "one")]
+
+
+def test_traffic_pair_label():
+    assert TrafficPair("web", "db").label == "web->db"
+
+
+def test_step_rejects_negative_time():
+    with pytest.raises(ValueError):
+        Step(-0.001, "bad", noop)
+
+
+def test_step_rejects_non_callable():
+    with pytest.raises(TypeError):
+        Step(0.001, "bad", "not-a-function")
+
+
+def test_zero_hosts_rejected():
+    with pytest.raises(ValueError):
+        minimal(hosts=0)
+
+
+def test_nonpositive_duration_rejected():
+    with pytest.raises(ValueError):
+        minimal(duration_s=0.0)
+
+
+def test_unknown_conservation_mode_rejected():
+    with pytest.raises(ValueError):
+        minimal(conservation="lossy")
+
+
+def test_unsorted_steps_rejected():
+    steps = (Step(0.002, "late", noop), Step(0.001, "early", noop))
+    with pytest.raises(ValueError, match="sorted"):
+        minimal(steps=steps)
+
+
+def test_step_beyond_duration_rejected():
+    with pytest.raises(ValueError, match="beyond"):
+        minimal(steps=(Step(0.005, "too late", noop),))
+
+
+def test_duplicate_container_names_rejected():
+    containers = (Placement("a", "host0"), Placement("a", "host1"))
+    with pytest.raises(ValueError, match="duplicate"):
+        minimal(containers=containers)
+
+
+def test_traffic_referencing_unknown_container_rejected():
+    with pytest.raises(ValueError, match="unknown"):
+        minimal(traffic=(TrafficPair("a", "ghost"),))

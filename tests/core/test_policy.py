@@ -120,3 +120,31 @@ class TestPolicyKnobs:
         decision = MechanismPolicy().decide(a, b)
         assert decision.reason
         assert decision.colocated and decision.trusted
+
+
+class TestDegradedHost:
+    def test_degraded_host_forces_tcp_even_colocated(self, env, policy):
+        a, b = _containers(env, same_host=True)
+        caps = {"h1": {"degraded": True}}
+        decision = policy.decide(a, b, capabilities=caps)
+        assert decision.mechanism is Mechanism.TCP
+        assert "degraded" in decision.reason
+
+    def test_degraded_peer_host_forces_tcp(self, env, policy):
+        a, b = _containers(env, same_host=False)
+        caps = {"h2": {"degraded": True}}
+        assert policy.decide(a, b,
+                             capabilities=caps).mechanism is Mechanism.TCP
+
+    def test_degraded_false_changes_nothing(self, env, policy):
+        a, b = _containers(env, same_host=False)
+        caps = {"h1": {"degraded": False}}
+        assert policy.decide(a, b,
+                             capabilities=caps).mechanism is Mechanism.RDMA
+
+    def test_degraded_loses_to_nothing_but_trust(self, env, policy):
+        a, b = _containers(env, same_host=False, tenants=("blue", "red"))
+        caps = {"h1": {"degraded": True}}
+        decision = policy.decide(a, b, capabilities=caps)
+        assert decision.mechanism is Mechanism.TCP
+        assert "degraded" not in decision.reason  # trust reason wins

@@ -1,0 +1,77 @@
+"""Tests for the seeded jittered-exponential Backoff schedule."""
+
+import pytest
+
+from repro.sim import Backoff
+from repro.sim.rand import RandomStream
+
+
+def make(seed=1, **kwargs):
+    return Backoff(RandomStream(seed, "test.backoff"), **kwargs)
+
+
+class TestCeiling:
+    def test_grows_geometrically(self):
+        b = make(base=0.001, factor=2.0, cap=1.0)
+        assert b.ceiling(0) == pytest.approx(0.001)
+        assert b.ceiling(1) == pytest.approx(0.002)
+        assert b.ceiling(3) == pytest.approx(0.008)
+
+    def test_caps(self):
+        b = make(base=0.001, factor=2.0, cap=0.004)
+        assert b.ceiling(10) == pytest.approx(0.004)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            make().ceiling(-1)
+
+
+class TestDelay:
+    def test_no_jitter_is_deterministic_ceiling(self):
+        b = make(base=0.001, jitter=False)
+        assert b.delay(0) == pytest.approx(0.001)
+        assert b.delay(1) == pytest.approx(0.002)
+
+    def test_full_jitter_within_bounds(self):
+        b = make(base=0.001, factor=2.0, cap=0.05)
+        for attempt in range(8):
+            d = b.delay(attempt)
+            assert 0.0 <= d <= b.ceiling(attempt)
+
+    def test_same_seed_same_schedule(self):
+        a = make(seed=42)
+        b = make(seed=42)
+        assert [a.delay(i) for i in range(10)] == \
+               [b.delay(i) for i in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = [make(seed=1).delay(i) for i in range(10)]
+        b = [make(seed=2).delay(i) for i in range(10)]
+        assert a != b
+
+
+class TestExhaustion:
+    def test_exhausted_after_max_attempts(self):
+        b = make(max_attempts=3)
+        assert not b.exhausted(0)
+        assert not b.exhausted(2)
+        assert b.exhausted(3)
+        assert b.exhausted(4)
+
+
+class TestValidation:
+    def test_bad_base(self):
+        with pytest.raises(ValueError):
+            make(base=0.0)
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            make(factor=0.5)
+
+    def test_cap_below_base(self):
+        with pytest.raises(ValueError):
+            make(base=0.01, cap=0.001)
+
+    def test_bad_max_attempts(self):
+        with pytest.raises(ValueError):
+            make(max_attempts=0)
