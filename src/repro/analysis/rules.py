@@ -1,4 +1,4 @@
-"""simlint rules SIM001–SIM007: FreeFlow-repro-specific invariants.
+"""simlint rules SIM001–SIM008: FreeFlow-repro-specific invariants.
 
 Each rule is a small AST pass.  They are deliberately narrow — tuned to
 how *this* codebase expresses the pattern — because a repo-specific
@@ -24,7 +24,10 @@ Rule index:
 * **SIM006** flow-state ownership — ``.state`` on flow connections is
   assigned only inside ``core/flows.py`` (the FlowTable state machine);
 * **SIM007** no bare ``assert`` in library code — asserts vanish under
-  ``python -O``; raise a typed error from :mod:`repro.errors`.
+  ``python -O``; raise a typed error from :mod:`repro.errors`;
+* **SIM008** per-message completion wait — ``cq.wait()`` inside a loop
+  wakes the scheduler once per message; drain with
+  ``CompletionQueue.wait_batch()`` so one wake applies a burst.
 """
 
 from __future__ import annotations
@@ -46,6 +49,7 @@ __all__ = [
     "TelemetryNamingRule",
     "FlowStateOwnershipRule",
     "BareAssertRule",
+    "PerMessageCqWaitRule",
 ]
 
 
@@ -662,6 +666,52 @@ class BareAssertRule(Rule):
         ]
 
 
+# ---------------------------------------------------------------------------
+# SIM008 — per-message completion wait in a loop
+# ---------------------------------------------------------------------------
+
+
+class PerMessageCqWaitRule(Rule):
+    code = "SIM008"
+    summary = ("cq.wait() inside a loop is one scheduler wake per "
+               "message — drain with wait_batch()")
+
+    @staticmethod
+    def _receiver_name(node: ast.AST) -> Optional[str]:
+        """Terminal name of the object ``.wait`` is called on."""
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    def check(self, tree, path, lines, ctx):
+        if _in_tests(path):
+            return []
+        # Keyed by position: nested loops walk the same call twice.
+        found: dict[tuple, Finding] = {}
+        for loop in ast.walk(tree):
+            if not isinstance(loop, (ast.For, ast.While, ast.AsyncFor)):
+                continue
+            for node in ast.walk(loop):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "wait"):
+                    continue
+                name = self._receiver_name(node.func.value)
+                if name is None or not name.lower().endswith("cq"):
+                    continue
+                key = (node.lineno, node.col_offset)
+                found.setdefault(key, self.finding(
+                    path, node,
+                    f"{name}.wait() inside a loop blocks once per "
+                    f"completion — one scheduler wake and one poll "
+                    f"charge per message; use "
+                    f"{name}.wait_batch() to drain a burst per wake "
+                    f"(see the streaming socket dispatcher)", lines))
+        return list(found.values())
+
+
 ALL_RULES = (
     DeterminismRule(),
     LostEventRule(),
@@ -670,6 +720,7 @@ ALL_RULES = (
     TelemetryNamingRule(),
     FlowStateOwnershipRule(),
     BareAssertRule(),
+    PerMessageCqWaitRule(),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

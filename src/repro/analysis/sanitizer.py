@@ -3,7 +3,7 @@
 The static rules in :mod:`repro.analysis.rules` catch what the AST can
 see; this module catches what it cannot — armed either by setting
 ``REPRO_SANITIZE=1`` in the environment (checked at :mod:`repro` import
-time) or by calling :func:`install` directly.  Four invariant groups:
+time) or by calling :func:`install` directly.  Five invariant groups:
 
 * **No event scheduled in the past** — every entry popped by the engine
   must carry ``time >= env.now``; a past-dated entry means some code
@@ -21,6 +21,13 @@ time) or by calling :func:`install` directly.  Four invariant groups:
   guarded property; assigning it anywhere but through
   :meth:`FlowTable.transition` / :meth:`FlowConnection._transition`
   raises (the static counterpart is rule SIM006).
+* **Streaming-ring conservation** — after every completion batch the
+  receiver applies and every ``recv`` consumption, a streaming socket's
+  ring accounting must balance: occupied receive-ring bytes equal the
+  ring-tagged bytes waiting in the reassembly buffer, and on the send
+  side ``ring capacity - credit level`` equals staged + un-acked ring
+  bytes (no byte is ever minted or leaked by the coalescer or the
+  credit protocol).
 
 All violations raise :class:`repro.errors.SanitizerViolation`.  The
 sanitizer routes ``Environment.run``'s inlined drain loop back through
@@ -49,6 +56,8 @@ class _State:
         self.orig_transplant = None
         self.orig_table_transition = None
         self.orig_flow_transition = None
+        self.orig_apply_completions = None
+        self.orig_consume_rx = None
         #: >0 while inside a sanctioned transition (state writes allowed).
         self.allow_depth = 0
         self.checks: dict[str, int] = {}
@@ -242,6 +251,54 @@ def _checked_transplant(self, old, new) -> int:
     return moved
 
 
+# -- streaming-ring conservation --------------------------------------------
+
+
+def _check_socket_rings(sock) -> None:
+    """Re-balance a streaming socket's ring accounting (both sides)."""
+    if sock._rx_ring is not None:
+        buffered = sum(n for n, _p, from_ring in sock._rx_buffer
+                       if from_ring)
+        if sock._rx_ring.used != buffered:
+            _violate(
+                f"receive-ring accounting out of balance on "
+                f"{sock.container.name!r}: ring holds "
+                f"{sock._rx_ring.used} byte(s) but the reassembly "
+                f"buffer carries {buffered} ring-tagged byte(s) — a "
+                f"coalesced WRITE was applied without its chunks (or "
+                f"vice versa)"
+            )
+    if sock._tx_ring is not None and sock._tx_credits is not None:
+        debited = sock._tx_credits.capacity - sock._tx_credits.level
+        outstanding = sock._tx_ring.used + sock._staged_bytes
+        # Senders parked between credit grant and staging account for
+        # up to _credit_debt_pending extra debited-but-unstaged bytes.
+        if not (outstanding <= debited
+                <= outstanding + sock._credit_debt_pending):
+            _violate(
+                f"send-ring credit accounting out of balance on "
+                f"{sock.container.name!r}: {debited} byte(s) of credit "
+                f"debited but {outstanding} staged/un-acked "
+                f"({sock._staged_bytes} staged + {sock._tx_ring.used} "
+                f"in the ring, {sock._credit_debt_pending} granted but "
+                f"not yet staged) — the credit protocol minted or "
+                f"leaked ring bytes"
+            )
+    _bump("socket_ring")
+
+
+def _checked_apply_completions(self, wcs):
+    reposts = _state.orig_apply_completions(self, wcs)
+    _check_socket_rings(self)
+    return reposts
+
+
+def _checked_consume_rx(self, max_bytes):
+    result = _state.orig_consume_rx(self, max_bytes)
+    _check_socket_rings(self)
+    return result
+
+
 # -- flow-state ownership ---------------------------------------------------
 
 
@@ -286,6 +343,7 @@ def install() -> None:
     if _state is not None:
         return
     from ..core.flows import ChannelFactory, FlowConnection, FlowTable
+    from ..core.sockets import FreeFlowSocket
     from ..sim.scheduler import Environment
     from ..transports.base import Lane
 
@@ -296,12 +354,16 @@ def install() -> None:
     state.orig_transplant = ChannelFactory.transplant
     state.orig_table_transition = FlowTable.transition
     state.orig_flow_transition = FlowConnection._transition
+    state.orig_apply_completions = FreeFlowSocket._apply_completions
+    state.orig_consume_rx = FreeFlowSocket._consume_rx
     _state = state
 
     Environment.step = _checked_step
     Environment.run = _checked_run
     Lane.adopt = _checked_adopt
     ChannelFactory.transplant = _checked_transplant
+    FreeFlowSocket._apply_completions = _checked_apply_completions
+    FreeFlowSocket._consume_rx = _checked_consume_rx
     FlowTable.transition = _allowed_transition(state.orig_table_transition)
     FlowConnection._transition = _allowed_transition(
         state.orig_flow_transition)
@@ -316,6 +378,7 @@ def uninstall() -> None:
     if _state is None:
         return
     from ..core.flows import ChannelFactory, FlowConnection, FlowTable
+    from ..core.sockets import FreeFlowSocket
     from ..sim.scheduler import Environment
     from ..transports.base import Lane
 
@@ -323,6 +386,8 @@ def uninstall() -> None:
     Environment.run = _state.orig_run
     Lane.adopt = _state.orig_adopt
     ChannelFactory.transplant = _state.orig_transplant
+    FreeFlowSocket._apply_completions = _state.orig_apply_completions
+    FreeFlowSocket._consume_rx = _state.orig_consume_rx
     FlowTable.transition = _state.orig_table_transition
     FlowConnection._transition = _state.orig_flow_transition
     delattr(FlowConnection, "state")

@@ -25,7 +25,10 @@ from .network import FlowConnection, FreeFlowNetwork
 from .orchestrator import ContainerRecord, NetworkOrchestrator
 from .policy import MechanismPolicy, PolicyConfig, PolicyDecision
 from .ratelimit import RateLimitedLane, TokenBucket, limit_channel
+from .ringbuf import RingBuffer
 from .sockets import (
+    RECV_MAX_BYTES,
+    RING_BYTES,
     SOCKET_TRANSLATION_CYCLES,
     ZERO_COPY_THRESHOLD_BYTES,
     FreeFlowListener,
@@ -33,6 +36,7 @@ from .sockets import (
     SocketLayer,
 )
 from .verbs import (
+    CQ_POLL_BATCH,
     CompletionQueue,
     MemoryRegion,
     Opcode,
@@ -47,6 +51,7 @@ from .vnic import VNIC_POST_OVERHEAD_CYCLES, VirtualNic
 
 __all__ = [
     "AgentStats",
+    "CQ_POLL_BATCH",
     "ChannelFactory",
     "Communicator",
     "CompletionQueue",
@@ -75,9 +80,12 @@ __all__ = [
     "ProtectionDomain",
     "QpState",
     "QueuePair",
+    "RECV_MAX_BYTES",
+    "RING_BYTES",
     "RankEndpoint",
     "RateLimitedLane",
     "RelayLane",
+    "RingBuffer",
     "TokenBucket",
     "limit_channel",
     "SOCKET_TRANSLATION_CYCLES",

@@ -125,8 +125,13 @@ class VirtualNic:
         self._mrs_by_rkey.pop(region.rkey, None)
         region.deregister()
 
-    def create_cq(self, depth: int = 1024) -> CompletionQueue:
-        return CompletionQueue(self.env, depth)
+    def create_cq(self, depth: int = 1024,
+                  poll_batch: Optional[int] = None) -> CompletionQueue:
+        """A completion queue whose drain batch defaults to the host
+        NIC's advertised :attr:`~repro.hardware.specs.NicSpec.cq_poll_batch`."""
+        if poll_batch is None:
+            poll_batch = self.container.host.nic.spec.cq_poll_batch
+        return CompletionQueue(self.env, depth, poll_batch=poll_batch)
 
     def create_qp(
         self,

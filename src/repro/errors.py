@@ -26,6 +26,8 @@ __all__ = [
     "SocketError",
     "ConnectionRefused",
     "ConnectionReset",
+    "SocketShutdownError",
+    "RingBufferError",
     "MigrationError",
 ]
 
@@ -137,6 +139,25 @@ class ConnectionRefused(SocketError):
 
 class ConnectionReset(SocketError):
     """The peer endpoint went away mid-connection."""
+
+
+class SocketShutdownError(SocketError):
+    """I/O on a socket this end already shut down.
+
+    Raised by ``recv`` on a half-shut socket — ``shutdown()`` was
+    called locally, so no more data can ever arrive on this endpoint.
+    Distinct from the generic :class:`SocketError` so callers can tell
+    "you closed this yourself" from genuine misuse.
+    """
+
+
+class RingBufferError(SocketError):
+    """Streaming-ring accounting violation (overflow/underflow/wrap).
+
+    The credit protocol is supposed to make these unreachable; raising
+    a typed error (instead of silently corrupting head/tail) turns a
+    flow-control bug into a loud failure.
+    """
 
 
 # -- migration -------------------------------------------------------------------

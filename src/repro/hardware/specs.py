@@ -110,6 +110,9 @@ class NicSpec:
     #: Host-CPU cost to post one work request / poll one completion.
     rdma_post_cycles: float = 450.0
     rdma_poll_cycles: float = 250.0
+    #: Completions one CQ poll drains (the NIC/driver's batch size);
+    #: seeds :attr:`repro.core.verbs.CompletionQueue.poll_batch`.
+    cq_poll_batch: int = 16
     #: PCIe DMA latency per transfer direction.
     dma_latency_s: float = 0.30e-6
     #: Wire/serialisation chunk for sharing the link between flows.

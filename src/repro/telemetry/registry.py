@@ -63,6 +63,7 @@ KNOWN_FAMILIES = (
     "repro.chaos",
     "repro.mpi",
     "repro.socket",
+    "repro.verbs",
     "repro.vnic",
 )
 

@@ -340,6 +340,59 @@ def test_sim007_silent_on_typed_raise():
     assert findings == []
 
 
+# -- SIM008: per-message cq.wait() in a loop ---------------------------------
+
+
+def test_sim008_fires_on_cq_wait_in_loop():
+    findings = lint(
+        """
+        def pump(qp):
+            while True:
+                wc = yield from qp.recv_cq.wait()
+                handle(wc)
+        """,
+        rule="SIM008",
+    )
+    assert len(findings) == 1
+    assert "wait_batch" in findings[0].message
+    assert "recv_cq.wait()" in findings[0].snippet
+
+
+def test_sim008_silent_on_wait_batch_and_one_shot_wait():
+    findings = lint(
+        """
+        def pump(qp):
+            while True:
+                wcs = yield from qp.recv_cq.wait_batch()
+                for wc in wcs:
+                    handle(wc)
+
+        def one_shot(cq, request):
+            wc = yield from cq.wait()
+            result = yield from request.wait()  # not a CQ
+            return wc, result
+
+        def other_waits(queue):
+            while True:
+                yield from queue.wait()  # not CQ-named
+        """,
+        rule="SIM008",
+    )
+    assert findings == []
+
+
+def test_sim008_library_code_only_and_nested_loops_dedup():
+    source = """
+        def pump(cq):
+            for _ in range(2):
+                while True:
+                    yield from cq.wait()
+        """
+    fired = lint(source, path="repro/core/x.py", rule="SIM008")
+    assert len(fired) == 1  # nested loops report the call once
+    assert lint(source, path="tests/core/test_x.py", rule="SIM008") == []
+
+
 # -- infrastructure ----------------------------------------------------------
 
 
@@ -354,7 +407,8 @@ def test_disable_file_pragma_and_rule_registry():
     )
     assert findings == []
     assert set(RULES_BY_CODE) == {
-        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006", "SIM007"
+        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+        "SIM007", "SIM008",
     }
 
 

@@ -8,9 +8,10 @@ from repro.errors import ConnectionRefused, SocketError
 from repro.transports import Mechanism
 
 
-@pytest.fixture
-def layer(network):
-    return SocketLayer(network)
+@pytest.fixture(params=["streaming", "legacy"])
+def layer(request, network):
+    """Both data paths must satisfy the same byte-stream contract."""
+    return SocketLayer(network, streaming=request.param == "streaming")
 
 
 @pytest.fixture
