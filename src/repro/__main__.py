@@ -7,13 +7,17 @@ Gives the library a zero-setup "does it work?" entry point:
 * ``python -m repro compare``  — FreeFlow vs every baseline, intra+inter
 * ``python -m repro trace``    — per-hop latency breakdown per mechanism
 
-Besides the demos there are two tool subcommands:
+Besides the demos there are four tool subcommands:
 
-* ``python -m repro lint``     — simlint static analysis (SIM001-SIM007);
+* ``python -m repro lint``     — simlint static analysis (SIM001-SIM009);
   see :mod:`repro.analysis.cli` for flags (``--fail-on-new`` etc.)
 * ``python -m repro chaos``    — deterministic fault-injection scenarios
   with invariant verification; see :mod:`repro.chaos.runner` for flags
   (``--smoke``, ``--scenario``, ``--seed``, ``--json``, ``--list``)
+* ``python -m repro top``      — live top-talkers / link-utilisation /
+  flow-state view over a chaos scenario (default host-crash-storm)
+* ``python -m repro report``   — deterministic flight-record artifact
+  (JSON-lines) for a synthetic fleet; see :mod:`repro.telemetry.cli`
 """
 
 from __future__ import annotations
@@ -331,6 +335,14 @@ def main(argv=None) -> int:
         from .chaos.runner import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "top":
+        from .telemetry.cli import top_main
+
+        return top_main(argv[1:])
+    if argv and argv[0] == "report":
+        from .telemetry.cli import report_main
+
+        return report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="FreeFlow (HotNets'16) reproduction demos "

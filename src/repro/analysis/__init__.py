@@ -3,7 +3,7 @@
 Two complementary halves:
 
 * :mod:`repro.analysis.core` + :mod:`repro.analysis.rules` — the static
-  analyzer behind ``python -m repro lint`` (rules SIM001-SIM007, inline
+  analyzer behind ``python -m repro lint`` (rules SIM001-SIM009, inline
   pragmas, a fingerprint baseline for ``--fail-on-new`` CI gating);
 * :mod:`repro.analysis.sanitizer` — runtime invariant checks armed by
   ``REPRO_SANITIZE=1`` or :func:`repro.analysis.sanitizer.install`,

@@ -55,7 +55,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description=("simlint: FreeFlow-repro-aware static analysis "
-                     "(rules SIM001-SIM007)"),
+                     "(rules SIM001-SIM009)"),
     )
     parser.add_argument(
         "paths", nargs="*",

@@ -1,4 +1,4 @@
-"""simlint rules SIM001–SIM008: FreeFlow-repro-specific invariants.
+"""simlint rules SIM001–SIM009: FreeFlow-repro-specific invariants.
 
 Each rule is a small AST pass.  They are deliberately narrow — tuned to
 how *this* codebase expresses the pattern — because a repo-specific
@@ -27,7 +27,10 @@ Rule index:
   ``python -O``; raise a typed error from :mod:`repro.errors`;
 * **SIM008** per-message completion wait — ``cq.wait()`` inside a loop
   wakes the scheduler once per message; drain with
-  ``CompletionQueue.wait_batch()`` so one wake applies a burst.
+  ``CompletionQueue.wait_batch()`` so one wake applies a burst;
+* **SIM009** unbounded accumulation — a telemetry/monitor dict keyed by
+  runtime values (flow labels, host names) that is never pruned; a
+  monitor must cost O(1) memory, so evict, bound, or sketch it.
 """
 
 from __future__ import annotations
@@ -50,6 +53,7 @@ __all__ = [
     "FlowStateOwnershipRule",
     "BareAssertRule",
     "PerMessageCqWaitRule",
+    "UnboundedAccumulationRule",
 ]
 
 
@@ -133,8 +137,11 @@ class DeterminismRule(Rule):
         ("uuid", "uuid1"), ("uuid", "uuid4"),
     }
 
-    #: The seeded-randomness home; its own ``import random`` is the point.
-    ALLOWLIST_SUFFIXES = ("repro/sim/rand.py",)
+    #: The seeded-randomness home (its own ``import random`` is the
+    #: point) and the engine profiler (wall-clock attribution is its
+    #: job; its deterministic outputs exclude the wall columns).
+    ALLOWLIST_SUFFIXES = ("repro/sim/rand.py",
+                          "repro/telemetry/profiler.py")
 
     def check(self, tree, path, lines, ctx):
         if path.endswith(self.ALLOWLIST_SUFFIXES) or _in_tests(path):
@@ -712,6 +719,107 @@ class PerMessageCqWaitRule(Rule):
         return list(found.values())
 
 
+# ---------------------------------------------------------------------------
+# SIM009 — unbounded accumulation in telemetry/monitor paths
+# ---------------------------------------------------------------------------
+
+
+class UnboundedAccumulationRule(Rule):
+    code = "SIM009"
+    summary = ("telemetry/monitor dict keyed by runtime values and never "
+               "pruned — a monitor must cost O(1) memory; evict, bound, "
+               "or sketch it")
+
+    #: Where the rule applies: observability code, which by design sees
+    #: every flow/host/event and therefore must not grow per key it
+    #: sees.  SIM004 covers lists repo-wide; this rule covers the
+    #: dict-keyed-by-label pattern that telemetry code reaches for.
+    SCOPE = ("repro/telemetry/", "repro/sim/monitor.py")
+
+    PRUNE = {"pop", "popitem", "clear"}
+
+    @staticmethod
+    def _is_dict_value(node: ast.AST) -> bool:
+        if isinstance(node, ast.Dict):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "dict")
+
+    @staticmethod
+    def _is_static_key(node: ast.AST) -> bool:
+        """Constant keys make a bounded dict (a fixed label set)."""
+        return isinstance(node, ast.Constant)
+
+    def check(self, tree, path, lines, ctx):
+        if not any(marker in path or path.endswith(marker)
+                   for marker in self.SCOPE):
+            return []
+        if _in_tests(path):
+            return []
+        out: list[Finding] = []
+        for cls in ast.walk(tree):
+            if isinstance(cls, ast.ClassDef):
+                self._check_class(cls, path, lines, out)
+        return out
+
+    def _check_class(self, cls: ast.ClassDef, path, lines, out) -> None:
+        candidates: set = set()
+        for node in cls.body:
+            if (isinstance(node, ast.FunctionDef)
+                    and node.name == "__init__"):
+                for sub in ast.walk(node):
+                    if (isinstance(sub, ast.Assign)
+                            and len(sub.targets) == 1
+                            and _is_self_attr(sub.targets[0])
+                            and self._is_dict_value(sub.value)):
+                        candidates.add(sub.targets[0].attr)
+                    elif (isinstance(sub, ast.AnnAssign)
+                            and sub.value is not None
+                            and _is_self_attr(sub.target)
+                            and self._is_dict_value(sub.value)):
+                        candidates.add(sub.target.attr)
+        if not candidates:
+            return
+        grows: list = []
+        pruned: set = set()
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (isinstance(target, ast.Subscript)
+                            and _is_self_attr(target.value)
+                            and not self._is_static_key(target.slice)):
+                        grows.append((target.value.attr, node))
+                    elif (_is_self_attr(target)
+                            and not self._is_dict_value(node.value)):
+                        pruned.add(target.attr)
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and _is_self_attr(node.func.value)):
+                attr = node.func.value.attr
+                if (node.func.attr == "setdefault" and node.args
+                        and not self._is_static_key(node.args[0])):
+                    grows.append((attr, node))
+                elif node.func.attr in self.PRUNE:
+                    pruned.add(attr)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    base = (target.value
+                            if isinstance(target, ast.Subscript)
+                            else target)
+                    if _is_self_attr(base):
+                        pruned.add(base.attr)
+        for attr, node in grows:
+            if attr in candidates and attr not in pruned:
+                out.append(self.finding(
+                    path, node,
+                    f"self.{attr} accumulates one entry per runtime key "
+                    f"and nothing in class {cls.name!r} ever evicts — "
+                    f"telemetry state must be O(1): bound it (ring, "
+                    f"capacity cap) or use a sketch "
+                    f"(telemetry.sketches.SpaceSaving)", lines))
+
+
 ALL_RULES = (
     DeterminismRule(),
     LostEventRule(),
@@ -721,6 +829,7 @@ ALL_RULES = (
     FlowStateOwnershipRule(),
     BareAssertRule(),
     PerMessageCqWaitRule(),
+    UnboundedAccumulationRule(),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

@@ -69,6 +69,7 @@ class ClusterOrchestrator:
         registry = _registry.ACTIVE
         if registry is not None:
             registry.register_host(host)
+            registry.register_cluster(self)
 
     def add_vm(self, vm: VirtualMachine) -> None:
         if vm.name in self._vms:

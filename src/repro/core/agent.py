@@ -115,6 +115,10 @@ class RelayLane(Lane):
         self.src_agent = src_agent
         self.dst_agent = dst_agent
         self.backing = backing
+        # Each relayed message delivers once on the backing lane and once
+        # here; only the relay (the flow-labelled lane) feeds the flight
+        # recorder.
+        backing.record_deliveries = False
         src_shm = src_agent.host.spec.shm
         dst_shm = dst_agent.host.spec.shm
         self.src_spec = src_shm

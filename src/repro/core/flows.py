@@ -43,6 +43,7 @@ from ..errors import (
 from ..sim.backoff import Backoff
 from ..sim.rand import RandomStream
 from ..telemetry import events as _events
+from ..telemetry import flowrecords as _flowrecords
 from ..transports.base import DuplexChannel, Mechanism
 from .agent import build_channel
 
@@ -59,6 +60,7 @@ __all__ = [
     "FlowTable",
     "ChannelFactory",
     "FlowReconciler",
+    "label_channel",
 ]
 
 
@@ -91,6 +93,14 @@ _LEGAL: dict[FlowState, frozenset] = {
          FlowState.CLOSED}),
     FlowState.CLOSED: frozenset(),
 }
+
+
+def label_channel(flow: "FlowConnection", channel: DuplexChannel) -> None:
+    """Stamp both lanes with the flow id ("f<n>:<src>-><dst>") so the
+    tracer and the flight recorder attribute traffic to endpoints
+    instead of anonymous per-process lane counters."""
+    channel.lane_ab.flow = flow.flow_id
+    channel.lane_ba.flow = flow.flow_id
 
 
 def _check_transition(flow: "FlowConnection",
@@ -320,6 +330,7 @@ class FlowTable:
         """RESOLVING → ACTIVE once the channel pipeline is built."""
         flow.channel = channel
         flow.decision = decision
+        label_channel(flow, channel)
         self.transition(flow, FlowState.ACTIVE, reason="connected")
         return flow
 
@@ -329,6 +340,10 @@ class FlowTable:
         old = _check_transition(flow, new_state)
         flow.state = new_state
         self.transitions += 1
+        recorder = _flowrecords.ACTIVE
+        if recorder is not None:
+            recorder.on_transition(flow.flow_id, old.value, new_state.value,
+                                   self.env.now)
         _events.emit_transition(
             self.env, flow.flow_id, flow.src_name, flow.dst_name,
             old.value, new_state.value, reason=reason,

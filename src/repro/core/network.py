@@ -49,6 +49,7 @@ from .flows import (
     FlowReconciler,
     FlowState,
     FlowTable,
+    label_channel,
 )
 from .orchestrator import NetworkOrchestrator
 from .policy import MechanismPolicy, PolicyConfig, PolicyDecision
@@ -344,6 +345,9 @@ class FreeFlowNetwork:
                              reason="rebind-failed")
             raise
         old = connection.channel
+        # Label the new lanes before transplanting so open traces rekey
+        # to the flow label, not the lane's anonymous transport name.
+        label_channel(connection, channel)
         # Transplant delivered-but-unconsumed messages so nothing is
         # lost (stats + trace move with them), then eject receivers
         # still parked on the old lanes — they retry against the new

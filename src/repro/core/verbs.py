@@ -246,6 +246,7 @@ class CompletionQueue:
             # Real NICs move the QP to error on CQ overrun; surfacing the
             # bug loudly beats silently dropping completions.
             self.overflowed = True
+            _registry.counter_inc("repro.verbs.cq_overflows")
             raise CompletionError(
                 f"CQ overrun (depth {self.depth}); poll more often"
             )

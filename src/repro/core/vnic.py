@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Any, Optional
 
 from ..errors import MemoryRegionError, QueuePairStateError, VerbsError
 from ..sim.process import Interrupt
+from ..telemetry import flowrecords as _flowrecords
 from ..telemetry import registry as _registry
 from ..transports.base import ChannelEnd, Mechanism
 from .verbs import (
@@ -231,6 +232,9 @@ class VirtualNic:
             descriptor.payload = (wr.opcode, wr.compare_add, wr.swap)
         descriptor.done = self.env.event()
         _require_connected(qp)
+        recorder = _flowrecords.ACTIVE
+        if recorder is not None:
+            recorder.on_verbs(wr.opcode.value, wr.length)
         if kind in ("read_req", "atomic_req"):
             # These complete when the response lands (rx engine); remember
             # the WR so the response can land in its local MR.

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+from ..telemetry import registry as _registry
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.scheduler import Environment
     from .nic import PhysicalNic
@@ -60,6 +62,9 @@ class Fabric:
             )
         else:
             self.core = None
+        registry = _registry.ACTIVE
+        if registry is not None:
+            registry.register_fabric(self)
 
     def attach(self, nic: "PhysicalNic") -> None:
         """Plug a NIC into the fabric."""

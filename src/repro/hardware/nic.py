@@ -104,6 +104,15 @@ class PhysicalNic:
         """Mean busy fraction of the egress wire."""
         return self.egress.utilisation()
 
+    def utilisation_snapshot(self) -> dict:
+        """All three busy fractions at once (engine, egress wire,
+        ingress wire) — what the live ``repro top`` view renders."""
+        return {
+            "engine": self.engine_recorder.utilisation(),
+            "egress": self.egress.utilisation(),
+            "ingress": self.ingress.utilisation(),
+        }
+
     def reset_accounting(self) -> None:
         self.engine_recorder.reset()
         self.egress.reset_accounting()

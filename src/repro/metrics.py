@@ -112,10 +112,19 @@ def _pair_in_flight(send_end, recv_end) -> int:
 
 
 def _snapshot(hosts: Sequence["Host"]) -> tuple[dict, dict, dict, dict]:
-    cpu = {h.name: h.cpu.utilisation_percent() for h in hosts}
-    engine = {h.name: h.nic.engine_utilisation() for h in hosts}
-    link = {h.name: h.nic.link_utilisation() for h in hosts}
-    membus = {h.name: h.memory.pipe.utilisation() for h in hosts}
+    """Per-host utilisation, read through the registry's single set of
+    host readers so the harness and the ``repro.host.*`` gauges can
+    never disagree about what "utilisation" means."""
+    cpu: dict = {}
+    engine: dict = {}
+    link: dict = {}
+    membus: dict = {}
+    for host in hosts:
+        util = _registry.host_utilisation(host)
+        cpu[host.name] = util["cpu_pct"]
+        engine[host.name] = util["nic_engine_util"]
+        link[host.name] = util["link_util"]
+        membus[host.name] = util["membus_util"]
     return cpu, engine, link, membus
 
 

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Optional
 from ..errors import TransportError
 from ..sim.monitor import StreamingSeries
 from ..sim.resources import Store, Tank
+from ..telemetry import flowrecords as _flowrecords
 from ..telemetry import tracer as _tracer
 from .bridge import SoftwareBridge
 from .overlay import OverlayRouter
@@ -111,6 +112,9 @@ class _Direction:
         #: Tracer flow label (the kernel path is not a transport Lane, so
         #: it labels its own flows).
         self.flow = f"tcp-{conn.mode.value}/{next(_flow_ids)}"
+        #: Cleared by the TcpLane adapter, which accounts deliveries
+        #: itself under the (flow-table-labelled) lane flow.
+        self.record_deliveries = True
         self._closed = False
         conn.env.process(self._rx_worker())
         if self._needs_tx_worker():
@@ -253,6 +257,12 @@ class _Direction:
             self.stats.messages += 1
             self.stats.payload_bytes += message.size_bytes
             self.stats.latencies.append(message.latency)
+            recorder = _flowrecords.ACTIVE
+            if recorder is not None and self.record_deliveries:
+                # The kernel path is not a transport Lane, so it feeds
+                # the flow recorder from its own delivery point.
+                recorder.on_deliver(self.flow, message.size_bytes,
+                                    self.env.now)
             self.inbox.put(message)
 
     def _recv_cycles(self, nbytes: int) -> float:

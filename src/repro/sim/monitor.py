@@ -328,6 +328,9 @@ class ThroughputTimeline:
 
     def add(self, nbytes: float) -> None:
         index = int((self.env.now - self._start) / self.bucket_s)
+        # One entry per elapsed bucket of a finite measurement window —
+        # bounded by the measurement's duration, not by traffic volume.
+        # simlint: disable=SIM009
         self._buckets[index] = self._buckets.get(index, 0.0) + nbytes
 
     def series(self) -> list[tuple[float, float]]:

@@ -1,0 +1,265 @@
+"""Flight-recorder CLI: ``python -m repro top`` and ``... report``.
+
+``top`` runs a chaos scenario (default: ``host-crash-storm``) with the
+flight recorder armed and renders the live top-talkers / link-
+utilisation / flow-state screen every rollup interval — the fleet
+operator's view of a failure storm.
+
+``report`` builds a fleet (N hosts, two containers each), opens F flows
+with a heavy-tailed traffic split, and writes the full flight-record
+artifact as JSON-lines: rollup timeline, heavy hitters per dimension,
+sampled flow records, control-plane events, registry snapshot and the
+engine profiler's deterministic per-site attribution.  The artifact is
+a pure function of the seed — same seed, byte-identical output — which
+CI checks by diffing two runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from ..sim.rand import RandomStream
+from . import export
+from . import profiler as profiler_module
+from . import session as telemetry_session
+
+__all__ = ["top_main", "report_main"]
+
+#: The first ``ELEPHANTS`` flows of the report workload send
+#: ``ELEPHANT_BYTES / (rank + 1)`` bytes (a Zipf head); every other flow
+#: sends exactly one tail message.  The split keeps the true top-10 well
+#: above the Space-Saving error bound at the default sketch capacity, so
+#: the sketch's top-10 provably matches ground truth.
+ELEPHANTS = 16
+ELEPHANT_MESSAGES = 2048
+TAIL_BYTES = 1024
+
+
+# -- python -m repro top -----------------------------------------------------
+
+
+def top_main(argv=None) -> int:
+    """Live top view over a chaos scenario."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro top",
+        description="live top-talkers view over a chaos scenario",
+    )
+    parser.add_argument("--scenario", default="host-crash-storm",
+                        help="chaos scenario to run (default: "
+                             "host-crash-storm)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--interval-s", type=float, default=5e-4,
+                        help="sim-time refresh interval (default 0.5 ms)")
+    parser.add_argument("--n", type=int, default=10,
+                        help="rows per top table")
+    parser.add_argument("--no-clear", action="store_true",
+                        help="print frames sequentially instead of "
+                             "clearing the screen")
+    args = parser.parse_args(argv)
+
+    from ..chaos.runner import EVENT_CAPACITY, ChaosHarness
+    from ..chaos.scenarios import get
+
+    scenario = get(args.scenario)
+    clear = sys.stdout.isatty() and not args.no_clear
+    frames = {"n": 0}
+
+    with telemetry_session(sample_rate=0.0,
+                           event_capacity=EVENT_CAPACITY,
+                           flow_sample_rate=1.0,
+                           rollup_interval_s=args.interval_s) as handle:
+        harness = ChaosHarness(scenario, seed=args.seed)
+        env = harness.env
+
+        def render():
+            frames["n"] += 1
+            frame = export.format_top(handle.flows, handle.registry,
+                                      n=args.n, now_s=env.now)
+            if clear:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            else:
+                print(f"--- frame {frames['n']} "
+                      f"[{scenario.name}] ---")
+            print(frame)
+            sys.stdout.flush()
+
+        def render_loop():
+            while True:
+                yield env.timeout(args.interval_s)
+                render()
+
+        try:
+            harness.build()
+            env.process(render_loop())
+            env.run(until=env.process(harness.timeline()))
+        finally:
+            harness.teardown()
+        handle.rollups.flush(env.now)
+        render()
+        print(f"[top] scenario {scenario.name!r} done at "
+              f"t={env.now * 1e3:.3f} ms: "
+              f"{handle.flows.messages} deliveries, "
+              f"{len(handle.events.events)} control events, "
+              f"{frames['n']} frames")
+    return 0
+
+
+# -- python -m repro report --------------------------------------------------
+
+
+def _flow_plan(index: int, rng: RandomStream,
+               message_bytes: int) -> tuple[int, int]:
+    """(messages, bytes_per_message) for flow ``index``.
+
+    Deterministic given (index, stream state): the Zipf head gets
+    ``ELEPHANT_MESSAGES // (index + 1)`` messages, the tail one message
+    with a small jittered size so flows are not all byte-identical.
+    """
+    if index < ELEPHANTS:
+        return max(1, ELEPHANT_MESSAGES // (index + 1)), message_bytes
+    return 1, TAIL_BYTES + 16 * rng.randint(0, 15)
+
+
+def build_report_fleet(hosts: int, flows: int, seed: int,
+                       message_bytes: int = 4096):
+    """The report workload: fleet, flow list and per-flow traffic plan.
+
+    Returns ``(env, cluster, network, plan)`` where ``plan`` is a list
+    of ``(src, dst, messages, bytes_per_message)`` tuples (one per
+    flow, endpoints are container names).  Split out of the CLI so the
+    benchmark and tests can reuse the exact workload.
+    """
+    from .. import ContainerSpec, quickstart_cluster
+
+    env, cluster, network = quickstart_cluster(hosts=hosts)
+    names = []
+    for index in range(2 * hosts):
+        name = f"c{index}"
+        container = cluster.submit(
+            ContainerSpec(name, pinned_host=f"host{index // 2}")
+        )
+        network.attach(container)
+        names.append(name)
+    rng = RandomStream(seed, name="report.workload")
+    plan = []
+    for index in range(flows):
+        src = rng.choice(names)
+        dst = rng.choice(names)
+        while dst == src:
+            dst = rng.choice(names)
+        messages, nbytes = _flow_plan(index, rng, message_bytes)
+        plan.append((src, dst, messages, nbytes))
+    return env, cluster, network, plan
+
+
+def run_report_workload(env, network, plan) -> dict:
+    """Drive the plan to completion; returns exact per-flow ground truth
+    (flow_id -> total payload bytes)."""
+    opened = []
+
+    def wire():
+        for src, dst, messages, nbytes in plan:
+            connection = yield from network.connect_containers(src, dst)
+            opened.append(connection)
+
+    env.run(until=env.process(wire()))
+
+    progress = {"received": 0}
+    expected = sum(messages for _, _, messages, _ in plan)
+    truth = {}
+
+    def sender(connection, messages, nbytes):
+        for _ in range(messages):
+            yield from connection.a.send(nbytes)
+
+    def receiver(connection, messages):
+        for _ in range(messages):
+            yield from connection.b.recv()
+            progress["received"] += 1
+
+    for connection, (_, _, messages, nbytes) in zip(opened, plan):
+        truth[connection.flow_id] = float(messages * nbytes)
+        env.process(sender(connection, messages, nbytes))
+        env.process(receiver(connection, messages))
+
+    def supervise():
+        while progress["received"] < expected:
+            yield env.timeout(1e-4)
+
+    env.run(until=env.process(supervise()))
+    return truth
+
+
+def report_main(argv=None) -> int:
+    """Write the flight-record artifact for a synthetic fleet run."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="flight-record artifact (JSON-lines) for a "
+                    "deterministic fleet workload",
+    )
+    parser.add_argument("--hosts", type=int, default=64)
+    parser.add_argument("--flows", type=int, default=5000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--message-bytes", type=int, default=4096)
+    parser.add_argument("--sample-rate", type=float, default=0.01,
+                        help="flow-record sampling rate (default 1%%)")
+    parser.add_argument("--rollup-interval-s", type=float, default=2e-4)
+    parser.add_argument("--top", type=int, default=10)
+    parser.add_argument("--top-k", type=int, default=128,
+                        help="Space-Saving sketch capacity")
+    parser.add_argument("--out", default="-",
+                        help="artifact path ('-' = stdout)")
+    parser.add_argument("--no-profile", action="store_true",
+                        help="skip the engine profiler")
+    parser.add_argument("--check", action="store_true",
+                        help="verify the sketch top-10 against exact "
+                             "ground truth (exit 1 on mismatch)")
+    args = parser.parse_args(argv)
+
+    profiler: Optional[profiler_module.EngineProfiler] = None
+    with telemetry_session(sample_rate=0.0,
+                           event_capacity=65536,
+                           flow_sample_rate=args.sample_rate,
+                           flow_top_k=args.top_k,
+                           seed=args.seed,
+                           rollup_interval_s=args.rollup_interval_s) as handle:
+        env, cluster, network, plan = build_report_fleet(
+            args.hosts, args.flows, args.seed,
+            message_bytes=args.message_bytes,
+        )
+        if not args.no_profile:
+            profiler = profiler_module.EngineProfiler()
+            profiler_module.install(profiler)
+        try:
+            truth = run_report_workload(env, network, plan)
+        finally:
+            if profiler is not None:
+                profiler_module.uninstall()
+        handle.rollups.flush(env.now)
+        records = export.report_records(handle, profiler=profiler,
+                                        top_n=args.top)
+        payload = export.jsonl(records) + "\n"
+        if args.out == "-":
+            sys.stdout.write(payload)
+        else:
+            from pathlib import Path
+
+            Path(args.out).write_text(payload)
+            print(f"[report] wrote {len(records)} records to {args.out} "
+                  f"({handle.flows.messages} deliveries, "
+                  f"t={env.now * 1e3:.3f} ms)")
+        if args.check:
+            want = [key for key, _ in sorted(
+                truth.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:args.top]]
+            got = [key for key, _, _ in handle.flows.top("flow", args.top)]
+            if got != want:
+                print(f"[report] top-{args.top} mismatch:\n"
+                      f"  sketch: {got}\n  truth:  {want}",
+                      file=sys.stderr)
+                return 1
+            print(f"[report] sketch top-{args.top} matches exact "
+                  f"ground truth", file=sys.stderr)
+    return 0

@@ -13,7 +13,10 @@ from pathlib import Path
 from typing import Iterable, Optional
 
 from .events import EventLog
+from .flowrecords import FlowRecorder
+from .profiler import EngineProfiler
 from .registry import MetricsRegistry
+from .timeseries import RollupRecorder
 from .tracer import Tracer
 
 __all__ = [
@@ -22,8 +25,15 @@ __all__ = [
     "registry_records",
     "event_records",
     "trace_records",
+    "rollup_records",
+    "flow_records",
+    "topk_records",
+    "profiler_records",
+    "report_records",
     "format_breakdown",
     "format_registry",
+    "format_top",
+    "format_profile",
 ]
 
 
@@ -76,6 +86,105 @@ def trace_records(tracer: Tracer, start: int = 0) -> list[dict]:
         }
         for flow, aggregate in tracer.by_flow(start=start).items()
     ]
+
+
+def rollup_records(rollups: RollupRecorder) -> list[dict]:
+    """One record per retained rollup window (the utilization timeline).
+
+    The first record is a header carrying the interval, retention and
+    eviction counts, so a truncated timeline says so in-band.
+    """
+    records = [{
+        "record": "rollup.header",
+        "interval_s": rollups.interval_s,
+        "retention": rollups.retention,
+        "windows": len(rollups.windows),
+        "evicted": rollups.evicted,
+        "gap_windows": rollups.gap_windows,
+    }]
+    for window in rollups.windows:
+        records.append({
+            "record": "rollup",
+            "t_s": window["t_s"],
+            "metrics": dict(sorted(window["metrics"].items())),
+        })
+    return records
+
+
+def flow_records(recorder: FlowRecorder) -> list[dict]:
+    """Header + one record per sampled flow (NetFlow-style)."""
+    records = [{
+        "record": "flows.header",
+        "sample_rate": recorder.sample_rate,
+        "messages": recorder.messages,
+        "payload_bytes": recorder.payload_bytes,
+        "unattributed": recorder.unattributed,
+        "sampled_flows": recorder.sampled_flows,
+        "record_evictions": recorder.record_evictions,
+    }]
+    records.extend(recorder.flow_records())
+    if recorder.verbs_ops:
+        records.append({
+            "record": "flows.verbs",
+            "ops": {
+                opcode: {"ops": entry[0], "bytes": entry[1]}
+                for opcode, entry in sorted(recorder.verbs_ops.items())
+            },
+        })
+    if recorder.transition_counts:
+        records.append({
+            "record": "flows.transitions",
+            "counts": dict(sorted(recorder.transition_counts.items())),
+        })
+    return records
+
+
+def topk_records(recorder: FlowRecorder, n: int = 10) -> list[dict]:
+    """Heavy hitters per dimension, with the sketch's error bound."""
+    records = []
+    for dimension, sketch in (("flow", recorder.by_flow),
+                              ("src", recorder.by_src),
+                              ("dst", recorder.by_dst)):
+        records.append({
+            "record": "topk",
+            "by": dimension,
+            "error_bound_bytes": sketch.error_bound(),
+            "top": [
+                {"key": key, "bytes": estimate, "max_error": error}
+                for key, estimate, error in sketch.top(n)
+            ],
+        })
+    return records
+
+
+def profiler_records(profiler: EngineProfiler) -> list[dict]:
+    """Deterministic per-site attribution (event counts + shares)."""
+    return profiler.records()
+
+
+def report_records(
+    session,
+    profiler: Optional[EngineProfiler] = None,
+    top_n: int = 10,
+) -> list[dict]:
+    """The full flight-record artifact for one telemetry session.
+
+    Stitches rollup timeline, heavy hitters, sampled flow records,
+    control-plane events, registry snapshot and (when given) the
+    profiler's deterministic attribution into one record stream —
+    what ``python -m repro report`` writes as JSON-lines.
+    """
+    records: list[dict] = []
+    if session.rollups is not None:
+        records.extend(rollup_records(session.rollups))
+    if session.flows is not None:
+        records.extend(topk_records(session.flows, n=top_n))
+        records.extend(flow_records(session.flows))
+    records.extend(event_records(session.events))
+    records.extend(registry_records(session.registry))
+    if profiler is not None:
+        records.extend(profiler_records(profiler))
+    return records
 
 
 # -- aligned tables --------------------------------------------------------
@@ -143,3 +252,73 @@ def format_registry(
         if limit is not None and len(rows) >= limit:
             break
     return _table(["metric", "value"], rows)
+
+
+def _human_bytes(value: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024 or unit == "GB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{value:.0f}B"
+        value /= 1024
+    return f"{value:.1f}GB"  # pragma: no cover - unreachable
+
+
+def format_top(
+    recorder: FlowRecorder,
+    registry: Optional[MetricsRegistry] = None,
+    n: int = 10,
+    now_s: Optional[float] = None,
+) -> str:
+    """The live "top" screen: talkers, link utilisation, flow states."""
+    sections = []
+    header = (f"flows: {recorder.messages} msgs  "
+              f"{_human_bytes(float(recorder.payload_bytes))}  "
+              f"sampled={recorder.sampled_flows} "
+              f"(rate {recorder.sample_rate:g})")
+    if now_s is not None:
+        header = f"t={now_s * 1e3:9.3f} ms  " + header
+    sections.append(header)
+    for dimension, title in (("flow", "top flows"), ("src", "top sources"),
+                             ("dst", "top destinations")):
+        rows = [
+            [key, _human_bytes(estimate), _human_bytes(error)]
+            for key, estimate, error in recorder.top(dimension, n)
+        ]
+        if rows:
+            sections.append(title)
+            sections.append(_table([dimension, "bytes", "max err"], rows))
+    if recorder.transition_counts:
+        rows = [[key, str(count)] for key, count
+                in sorted(recorder.transition_counts.items())]
+        sections.append("flow-state transitions")
+        sections.append(_table(["transition", "count"], rows))
+    if registry is not None:
+        rows = []
+        for name, value in sorted(registry.query("repro.host.").items()):
+            if name.endswith((".link_util", ".nic_engine_util")):
+                rows.append([name, f"{float(value) * 100:.1f}%"])
+        if rows:
+            sections.append("link / NIC-engine utilisation")
+            sections.append(_table(["gauge", "value"], rows))
+    return "\n".join(sections)
+
+
+def format_profile(profiler: EngineProfiler, n: int = 15,
+                   wall: bool = True) -> str:
+    """Aligned per-site table of the engine profiler's attribution."""
+    if wall:
+        rows = [
+            [record["site"], str(record["events"]),
+             f"{record['wall_s'] * 1e3:.2f}", f"{record['wall_share_pct']:.1f}%"]
+            for record in profiler.wall_records()[:n]
+        ]
+        table = _table(["site", "events", "wall ms", "share"], rows)
+    else:
+        rows = [
+            [record["site"], str(record["events"]),
+             f"{record['event_share_pct']:.1f}%"]
+            for record in profiler.records()[:n]
+        ]
+        table = _table(["site", "events", "share"], rows)
+    header = (f"engine profile: {profiler.events_total} events, "
+              f"{profiler.wall_total_s * 1e3:.1f} ms attributed")
+    return "\n".join([header, table])

@@ -1,0 +1,264 @@
+"""Engine profiler: wall-clock + event counts per subsystem callback site.
+
+ROADMAP item 1 (the ~1M ev/s ceiling) needs to know *where* engine time
+goes before anything can be tuned; ``Environment.events_processed`` says
+how many events ran, not which subsystem ran them.  This profiler
+attributes every event to the code site of its callback — for process
+resumes, the *process generator's* code object, which is what names the
+subsystem (``netstack/tcp.py:_rx_worker``, ``core/vnic.py:_sq_loop``,
+…) rather than the engine-internal trampoline.
+
+Install/uninstall mirrors :mod:`repro.analysis.sanitizer`: the engine's
+``step``/``run`` are swapped for wrappers, and ``run``'s inlined drain
+loop is re-routed through ``step()`` so every event passes the wrapper.
+The un-armed engine is untouched — zero cost when not profiling.  The
+profiler composes with the sanitizer (either order of install works;
+uninstall in LIFO order) because each saves and restores whatever
+``step``/``run`` it found.
+
+Determinism: event counts and shares are a pure function of the
+simulation and appear in the deterministic report artifact; wall-clock
+seconds obviously are not, and are exported separately
+(:meth:`EngineProfiler.wall_records`).  This module is the one
+sanctioned ``perf_counter`` user inside ``src/repro`` — it is on
+simlint SIM001's allowlist for exactly this purpose.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional
+
+from ..sim.events import NO_CALLBACKS
+
+__all__ = ["ACTIVE", "EngineProfiler", "install", "uninstall", "installed"]
+
+#: The active profiler, or None when profiling is disabled.
+ACTIVE: Optional["EngineProfiler"] = None
+
+
+def _short_path(filename: str) -> str:
+    """Anchor a code filename at the repo package (like display_path)."""
+    parts = filename.replace("\\", "/").split("/")
+    for anchor in ("repro", "tests", "benchmarks"):
+        if anchor in parts:
+            return "/".join(parts[parts.index(anchor):])
+    return parts[-1]
+
+
+class EngineProfiler:
+    """Per-callback-site event counts and wall-clock attribution."""
+
+    __slots__ = ("sites", "events_total", "wall_total_s", "_code_labels")
+
+    def __init__(self) -> None:
+        #: site label -> [events, wall_seconds].  Keyspace is bounded by
+        #: the program text (one entry per callback code site).
+        self.sites: dict[str, list] = {}
+        self.events_total = 0
+        self.wall_total_s = 0.0
+        self._code_labels: dict[int, str] = {}
+
+    # -- attribution -------------------------------------------------------
+
+    def _label_for_code(self, code) -> str:
+        label = self._code_labels.get(id(code))
+        if label is None:
+            qualname = getattr(code, "co_qualname", code.co_name)
+            label = f"{_short_path(code.co_filename)}:{qualname}"
+            # Keyspace is the program's code objects — static text.
+            # simlint: disable=SIM009
+            self._code_labels[id(code)] = label
+        return label
+
+    def site_of(self, event) -> str:
+        """Code-site label for one event's callback(s)."""
+        callbacks = event._callbacks
+        if type(callbacks) is list:
+            callback = callbacks[0] if callbacks else None
+        elif callbacks is NO_CALLBACKS:
+            callback = None
+        else:
+            callback = callbacks
+        if callback is None:
+            return "(engine) no-callback"
+        # A process resume: attribute to the generator actually running,
+        # not the Process._step trampoline every resume shares.
+        owner = getattr(callback, "__self__", None)
+        generator = getattr(owner, "_generator", None)
+        if generator is not None and hasattr(generator, "gi_code"):
+            return self._label_for_code(generator.gi_code)
+        code = getattr(callback, "__code__", None)
+        if code is not None:
+            return self._label_for_code(code)
+        return type(callback).__qualname__
+
+    def record(self, site: str, wall_s: float) -> None:
+        entry = self.sites.get(site)
+        if entry is None:
+            # Keyspace is the set of callback sites — static text.
+            # simlint: disable=SIM009
+            entry = self.sites[site] = [0, 0.0]
+        entry[0] += 1
+        entry[1] += wall_s
+        self.events_total += 1
+        self.wall_total_s += wall_s
+
+    # -- queries -----------------------------------------------------------
+
+    def records(self) -> list[dict]:
+        """Deterministic attribution: events + share per site, ranked.
+
+        Wall-clock is deliberately excluded so the report artifact stays
+        byte-identical for a given seed; see :meth:`wall_records`.
+        """
+        total = self.events_total or 1
+        ranked = sorted(self.sites.items(),
+                        key=lambda item: (-item[1][0], item[0]))
+        return [
+            {
+                "record": "profile",
+                "site": site,
+                "events": entry[0],
+                "event_share_pct": round(100.0 * entry[0] / total, 3),
+            }
+            for site, entry in ranked
+        ]
+
+    def wall_records(self) -> list[dict]:
+        """Wall-clock attribution per site (not deterministic)."""
+        total = self.wall_total_s or 1.0
+        ranked = sorted(self.sites.items(),
+                        key=lambda item: (-item[1][1], item[0]))
+        return [
+            {
+                "site": site,
+                "events": entry[0],
+                "wall_s": entry[1],
+                "wall_share_pct": 100.0 * entry[1] / total,
+            }
+            for site, entry in ranked
+        ]
+
+    def state_size(self) -> int:
+        return len(self.sites) + len(self._code_labels)
+
+
+# -- engine instrumentation (sanitizer-style monkeypatch) -------------------
+
+
+class _State:
+    __slots__ = ("orig_step", "orig_run")
+
+    def __init__(self, orig_step, orig_run) -> None:
+        self.orig_step = orig_step
+        self.orig_run = orig_run
+
+
+_state: Optional[_State] = None
+
+
+def installed() -> bool:
+    return _state is not None
+
+
+def _peek_event(env):
+    """Front event of the globally sorted merge of the three queues."""
+    best = None
+    if env._ready:
+        best = env._ready[0]
+    if env._tail and (best is None or env._tail[0] < best):
+        best = env._tail[0]
+    if env._queue and (best is None or env._queue[0] < best):
+        best = env._queue[0]
+    return best[3] if best is not None else None
+
+
+def _profiled_step(self) -> None:
+    profiler = ACTIVE
+    if profiler is None:
+        _state.orig_step(self)
+        return
+    event = _peek_event(self)
+    if event is None:
+        # Let the original raise EmptySchedule with its own message.
+        _state.orig_step(self)
+        return
+    site = profiler.site_of(event)
+    started = perf_counter()
+    try:
+        _state.orig_step(self)
+    finally:
+        profiler.record(site, perf_counter() - started)
+
+
+def _profiled_run(self, until=None):
+    """Re-route run()'s inlined drain loop through (profiled) step().
+
+    Mirrors the sanitizer's wrapper: the numeric-``until`` path already
+    calls ``self.step()`` per event, so it is delegated unchanged.
+    """
+    from ..sim.events import Event
+    from ..sim.scheduler import StopSimulation
+
+    if until is not None and not isinstance(until, Event):
+        return _state.orig_run(self, until)
+
+    stop_event = None
+    if until is not None:
+        stop_event = until
+        if stop_event.processed:
+            if stop_event._ok:
+                return stop_event._value
+            raise stop_event._value
+        stop_event._add_callback(self._stop_on)
+
+    try:
+        while self._ready or self._tail or self._queue:
+            self.step()
+    except StopSimulation as stop:
+        event = stop.args[0]
+        if event._ok:
+            return event._value
+        raise event._value from None
+
+    if stop_event is not None:
+        if not stop_event.processed:
+            raise RuntimeError(
+                "simulation ran out of events before `until` event "
+                "triggered"
+            )
+        if stop_event._ok:
+            return stop_event._value
+        raise stop_event._value
+    return None
+
+
+def install(profiler: Optional[EngineProfiler] = None) -> EngineProfiler:
+    """Arm the profiler (idempotent; returns the active profiler)."""
+    global ACTIVE, _state
+    if _state is not None:
+        if profiler is not None:
+            ACTIVE = profiler
+        return ACTIVE
+    from ..sim.scheduler import Environment
+
+    ACTIVE = profiler if profiler is not None else EngineProfiler()
+    _state = _State(Environment.step, Environment.run)
+    Environment.step = _profiled_step
+    Environment.run = _profiled_run
+    return ACTIVE
+
+
+def uninstall() -> Optional[EngineProfiler]:
+    """Restore the engine fast paths; returns the profiler for reading."""
+    global ACTIVE, _state
+    if _state is None:
+        return None
+    from ..sim.scheduler import Environment
+
+    Environment.step = _state.orig_step
+    Environment.run = _state.orig_run
+    _state = None
+    profiler, ACTIVE = ACTIVE, None
+    return profiler

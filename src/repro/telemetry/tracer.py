@@ -191,6 +191,10 @@ class Tracer:
         if rate < 1.0:
             rng = self._samplers.get(flow)
             if rng is None:
+                # One small RNG per flow label, scoped to the session;
+                # deliberate so one flow's traffic never perturbs
+                # another's sampling sequence.
+                # simlint: disable=SIM009
                 rng = self._samplers[flow] = self._flow_rng(flow)
             if rng.random() >= rate:
                 return None
@@ -206,6 +210,8 @@ class Tracer:
             return
         trace.end_s = now
         self._open -= 1
+        # One counter per flow label, session-scoped, capped reads via
+        # max_traces_per_flow.  simlint: disable=SIM009
         self.counts[trace.flow] = self.counts.get(trace.flow, 0) + 1
         # Bounded upstream: begin() stops sampling a flow once it reaches
         # max_traces_per_flow, so this list is capped at

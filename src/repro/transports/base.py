@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 from ..netstack.packet import EndpointAddr, Message
 from ..sim.monitor import StreamingSeries
 from ..sim.resources import Store
+from ..telemetry import flowrecords as _flowrecords
 from ..telemetry import registry as _registry
 from ..telemetry import tracer as _tracer
 
@@ -76,7 +77,7 @@ class Lane:
     """
 
     __slots__ = ("env", "mechanism", "inbox", "stats", "closed", "on_deliver",
-                 "flow")
+                 "flow", "record_deliveries")
 
     def __init__(self, env: "Environment", mechanism: Mechanism) -> None:
         self.env = env
@@ -84,6 +85,11 @@ class Lane:
         self.inbox: Store = Store(env)
         self.stats = LaneStats()
         self.closed = False
+        #: Whether deliveries feed the flight recorder.  Composite lanes
+        #: (the agent relay, the TCP adapter) clear this on their inner
+        #: lane so each message is accounted exactly once, at the
+        #: outermost — flow-labelled — delivery point.
+        self.record_deliveries = True
         #: Hook invoked on each delivery (used by the migration machinery
         #: and by tests that need to observe the exact delivery instant).
         self.on_deliver: Optional[Callable[[Message], None]] = None
@@ -134,6 +140,9 @@ class Lane:
         """Final step: timestamp, account and enqueue at the receiver."""
         message.delivered_at = self.env.now
         self.stats.record_delivery(message)
+        recorder = _flowrecords.ACTIVE
+        if recorder is not None and self.record_deliveries:
+            recorder.on_deliver(self.flow, message.size_bytes, self.env.now)
         if self.on_deliver is not None:
             self.on_deliver(message)
         self.inbox.put(message)

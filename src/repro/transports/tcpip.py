@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any, Optional
 
 from ..netstack.packet import EndpointAddr
 from ..netstack.tcp import TcpConnection, TcpMode
+from ..telemetry import flowrecords as _flowrecords
 from .base import DuplexChannel, Lane, Mechanism
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -31,6 +32,11 @@ class TcpLane(Lane):
     def __init__(self, direction) -> None:
         super().__init__(direction.env, Mechanism.TCP)
         self._direction = direction
+        # This adapter re-accounts each delivery under its own flow
+        # label (which the flow table may rewrite to "f<n>:src->dst");
+        # suppress the kernel path's recorder hook so nothing is
+        # counted twice.
+        direction.record_deliveries = False
         direction.env.process(self._pump())
 
     def send(self, nbytes: int, payload: Any = None):
@@ -45,6 +51,10 @@ class TcpLane(Lane):
             # The kernel path already stamped delivered_at; keep it and
             # only run the lane-side accounting.
             self.stats.record_delivery(message)
+            recorder = _flowrecords.ACTIVE
+            if recorder is not None and self.record_deliveries:
+                recorder.on_deliver(self.flow, message.size_bytes,
+                                    self.env.now)
             if self.on_deliver is not None:
                 self.on_deliver(message)
             self.inbox.put(message)

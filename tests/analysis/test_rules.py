@@ -393,6 +393,71 @@ def test_sim008_library_code_only_and_nested_loops_dedup():
     assert lint(source, path="tests/core/test_x.py", rule="SIM008") == []
 
 
+# -- SIM009: unbounded accumulation in telemetry/monitor paths ---------------
+
+
+def test_sim009_fires_on_dynamic_key_dict_without_eviction():
+    findings = lint(
+        """
+        class PerFlowCounts:
+            def __init__(self):
+                self.by_flow = {}
+                self.meta = {}
+
+            def record(self, flow, nbytes):
+                self.by_flow[flow] = self.by_flow.get(flow, 0) + nbytes
+                self.meta.setdefault(flow, []).append(nbytes)
+        """,
+        path="repro/telemetry/example.py",
+        rule="SIM009",
+    )
+    assert len(findings) == 2
+    assert {"self.by_flow" in f.message or "self.meta" in f.message
+            for f in findings} == {True}
+    assert "SpaceSaving" in findings[0].message
+
+
+def test_sim009_silent_on_pruned_bounded_and_static_key_dicts():
+    findings = lint(
+        """
+        class BoundedCounts:
+            def __init__(self):
+                self.memo = {}
+                self.entries = {}
+                self.totals = {}
+
+            def record(self, key, value):
+                if len(self.memo) >= 64:
+                    self.memo.clear()
+                self.memo[key] = value
+                if len(self.entries) >= 32:
+                    victim = min(self.entries)
+                    del self.entries[victim]
+                self.entries[key] = value
+                self.totals["bytes"] = value  # fixed label set
+        """,
+        path="repro/telemetry/example.py",
+        rule="SIM009",
+    )
+    assert findings == []
+
+
+def test_sim009_scoped_to_telemetry_and_monitor_paths():
+    source = """
+        class Cache:
+            def __init__(self):
+                self.slots = {}
+
+            def put(self, key, value):
+                self.slots[key] = value
+        """
+    assert lint(source, path="repro/core/cache.py", rule="SIM009") == []
+    assert lint(source, path="tests/telemetry/test_x.py",
+                rule="SIM009") == []
+    fired = lint(source, path="repro/sim/monitor.py", rule="SIM009")
+    assert len(fired) == 1
+
+
 # -- infrastructure ----------------------------------------------------------
 
 
@@ -408,7 +473,7 @@ def test_disable_file_pragma_and_rule_registry():
     assert findings == []
     assert set(RULES_BY_CODE) == {
         "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
-        "SIM007", "SIM008",
+        "SIM007", "SIM008", "SIM009",
     }
 
 

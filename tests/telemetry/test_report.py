@@ -1,0 +1,79 @@
+"""End-to-end smoke for the ``repro report`` / ``repro top`` CLIs.
+
+These drive the real subprocess entry points: the report artifact must
+be valid JSON-lines, byte-identical across same-seed runs (profiler
+armed — its deterministic records exclude wall-clock), and pass its own
+``--check`` against exact ground truth; the live top view must render
+frames against a chaos scenario without a terminal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SMALL = ["--hosts", "4", "--flows", "40", "--seed", "7",
+         "--sample-rate", "1.0"]
+
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, env=env, cwd=REPO, timeout=120,
+    )
+
+
+def test_report_small_scale_passes_its_own_check(tmp_path):
+    out = tmp_path / "report.jsonl"
+    proc = run_cli("report", *SMALL, "--check", "--out", str(out))
+    assert proc.returncode == 0, proc.stderr
+    assert "matches exact ground truth" in proc.stderr
+
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    kinds = {record.get("record") for record in records}
+    assert {"rollup.header", "rollup", "topk", "flows.header", "flow",
+            "flows.transitions", "profile"} <= kinds
+    assert any("event" in record for record in records)
+    assert any("metric" in record for record in records)
+    flows = [r for r in records if r.get("record") == "flow"]
+    assert flows and all(r["payload_bytes"] > 0 and r["messages"] > 0
+                         for r in flows)
+    topk = [r for r in records if r.get("record") == "topk"]
+    assert {r["by"] for r in topk} == {"flow", "src", "dst"}
+    for record in topk:
+        assert record["error_bound_bytes"] >= 0.0
+        assert all(entry["bytes"] > 0 for entry in record["top"])
+
+
+def test_report_same_seed_is_byte_identical_with_profiler(tmp_path):
+    outs = []
+    for name in ("a.jsonl", "b.jsonl"):
+        out = tmp_path / name
+        proc = run_cli("report", *SMALL, "--out", str(out))
+        assert proc.returncode == 0, proc.stderr
+        outs.append(out.read_bytes())
+    assert outs[0] == outs[1]
+    records = [json.loads(line) for line in outs[0].decode().splitlines()]
+    assert any(r.get("record") == "profile" for r in records)
+
+
+def test_report_no_profile_omits_profiler_records(tmp_path):
+    out = tmp_path / "report.jsonl"
+    proc = run_cli("report", *SMALL, "--no-profile", "--out", str(out))
+    assert proc.returncode == 0, proc.stderr
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    assert not any(r.get("record") == "profile" for r in records)
+
+
+def test_top_renders_frames_against_chaos_scenario():
+    proc = run_cli("top", "--no-clear", "--scenario", "nic-loss-midflow")
+    assert proc.returncode == 0, proc.stderr
+    assert "top flows" in proc.stdout
+    assert "link_util" in proc.stdout
+    assert "frames" in proc.stdout.splitlines()[-1]

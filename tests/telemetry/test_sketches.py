@@ -1,0 +1,125 @@
+"""Space-Saving sketch: the Metwally et al. guarantees, checked exactly.
+
+The property test drives a Zipf-distributed weighted stream through a
+small sketch next to an exact counter and verifies the three paper
+bounds: estimates never under-count, the overestimate never exceeds
+``total / capacity``, and every true heavy hitter (weight above that
+bound) is tracked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.rand import RandomStream
+from repro.telemetry.sketches import SpaceSaving
+
+
+def zipf_stream(seed: int, draws: int, keys: int, skew: float = 1.1):
+    """Deterministic (key, weight) stream with a heavy-tailed key split."""
+    rng = RandomStream(seed, name="sketch.zipf")
+    for _ in range(draws):
+        index = rng.zipf_index(keys, skew=skew)
+        yield f"flow{index}", float(rng.randint(512, 4096))
+
+
+def test_epsilon_bound_property_on_zipf_workload():
+    sketch = SpaceSaving(capacity=64)
+    exact: dict[str, float] = {}
+    for key, weight in zipf_stream(seed=11, draws=20000, keys=2000):
+        sketch.update(key, weight)
+        exact[key] = exact.get(key, 0.0) + weight
+
+    total = sum(exact.values())
+    assert sketch.total == pytest.approx(total)
+    bound = sketch.error_bound()
+    assert bound == pytest.approx(total / 64)
+
+    for key, estimate, max_error in sketch.top():
+        true = exact.get(key, 0.0)
+        # Never an under-estimate, and the overestimate is within both
+        # the per-key error and the global bound.
+        assert estimate >= true - 1e-9
+        assert estimate - true <= max_error + 1e-9
+        assert max_error <= bound + 1e-9
+
+    # Guaranteed tracking: every key whose true weight exceeds
+    # total/capacity must be in the sketch.
+    for key, true in exact.items():
+        if true > bound:
+            assert key in sketch
+
+
+def test_top_ranking_matches_ground_truth_on_skewed_stream():
+    # Strong skew + capacity well above the distinct heavy keys: the
+    # sketch's top-5 must identify the true top-5 in order.
+    sketch = SpaceSaving(capacity=32)
+    exact: dict[str, float] = {}
+    for key, weight in zipf_stream(seed=3, draws=30000, keys=4000,
+                                   skew=1.6):
+        sketch.update(key, weight)
+        exact[key] = exact.get(key, 0.0) + weight
+    want = [k for k, _ in sorted(exact.items(),
+                                 key=lambda kv: (-kv[1], kv[0]))[:5]]
+    got = [key for key, _, _ in sketch.top(5)]
+    assert got == want
+
+
+def test_same_seed_same_sketch():
+    def build():
+        sketch = SpaceSaving(capacity=16)
+        for key, weight in zipf_stream(seed=5, draws=5000, keys=500):
+            sketch.update(key, weight)
+        return sketch.top()
+
+    assert build() == build()
+
+
+def test_eviction_takes_over_minimum_with_floor_error():
+    sketch = SpaceSaving(capacity=2)
+    sketch.update("a", 10.0)
+    sketch.update("b", 3.0)
+    sketch.update("c", 1.0)  # evicts b (min count), inherits its floor
+    assert "b" not in sketch
+    assert sketch.estimate("c") == 4.0
+    assert sketch.error_of("c") == 3.0
+    assert sketch.evictions == 1
+    assert len(sketch) == 2
+
+
+def test_eviction_tie_breaks_deterministically():
+    sketch = SpaceSaving(capacity=2)
+    sketch.update("x", 1.0)
+    sketch.update("y", 1.0)
+    sketch.update("z", 1.0)  # tie on count: victim is min(str(key))
+    assert "x" not in sketch
+    assert "y" in sketch and "z" in sketch
+
+
+def test_merge_composes_bounds():
+    left = SpaceSaving(capacity=8)
+    right = SpaceSaving(capacity=8)
+    for i in range(6):
+        left.update(f"k{i}", float(i + 1))
+        right.update(f"k{i}", float(10 - i))
+    total_before = left.total + right.total
+    left.merge(right)
+    assert left.total == pytest.approx(total_before)
+    assert left.estimate("k0") == pytest.approx(1.0 + 10.0)
+    assert left.state_size() <= 8
+
+
+def test_rejects_bad_capacity_and_negative_weight():
+    with pytest.raises(ValueError):
+        SpaceSaving(0)
+    sketch = SpaceSaving(4)
+    with pytest.raises(ValueError):
+        sketch.update("k", -1.0)
+
+
+def test_state_size_bounded_by_capacity():
+    sketch = SpaceSaving(capacity=16)
+    for i in range(10000):
+        sketch.update(f"key{i}")
+    assert sketch.state_size() == 16
+    assert sketch.updates == 10000
