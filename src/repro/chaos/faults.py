@@ -215,6 +215,7 @@ class HostInjector:
         self.crashes = 0
         self.restarts = 0
         self.respawns = 0
+        self.silences = 0
 
     def crash(self, host_name: str, via_watch: bool = False) -> list:
         """Kill a host; returns the flows broken (empty for via_watch)."""
@@ -224,6 +225,18 @@ class HostInjector:
             self.cluster.fail_host(host_name)
             return []
         return self.network.handle_host_failure(host_name)
+
+    def silence(self, host_name: str) -> None:
+        """The host goes silent: its lease keepalives stop, nothing else.
+
+        Needs a lease-backed scenario (``host_lease_ttl_s``).  The host
+        and its containers keep running; only the heartbeat dies — the
+        fleet learns one TTL later, when the lease lapses and the store
+        cascades the ``/cluster/hosts/`` DELETE to every watcher.
+        """
+        self.cluster.silence_keepalives(host_name)
+        self.silences += 1
+        counter_inc("repro.chaos.host.silences")
 
     def restart(self, host_name: str) -> None:
         """The host machine comes back (empty: containers stay dead)."""

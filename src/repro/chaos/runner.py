@@ -79,7 +79,9 @@ class ChaosHarness:
         self.streams = StreamFactory(seed)
         self.env = Environment()
         self.fabric = Fabric(self.env)
-        self.cluster = ClusterOrchestrator(self.env)
+        self.cluster = ClusterOrchestrator(
+            self.env, host_lease_ttl_s=scenario.host_lease_ttl_s
+        )
         for index in range(scenario.hosts):
             self.cluster.add_host(
                 Host(self.env, f"host{index}", fabric=self.fabric)
@@ -235,7 +237,7 @@ class ChaosHarness:
         while quiet < 2 and self.env.now < deadline:
             yield self.env.timeout(reconciler.SETTLE_POLL_S)
             if reconciler._busy or any(
-                watch.queue.items for watch in reconciler._watches
+                watch.has_pending() for watch in reconciler._watches
             ):
                 quiet = 0
                 continue

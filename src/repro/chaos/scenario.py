@@ -94,12 +94,19 @@ class Scenario:
     quiesce_deadline_s: float = 0.1
     #: Optional pre-traffic hook (install injectors, shape topology).
     prepare: Optional[Callable] = None
+    #: With a TTL set, host liveness is lease-backed: the harness builds
+    #: the cluster with ``host_lease_ttl_s`` and steps can silence a
+    #: host's keepalives (``harness.hosts.silence``) to model silent
+    #: death — the fleet learns via lease expiry, not an explicit call.
+    host_lease_ttl_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.hosts < 1:
             raise ValueError("scenario needs at least one host")
         if self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
+        if self.host_lease_ttl_s is not None and self.host_lease_ttl_s <= 0:
+            raise ValueError("host_lease_ttl_s must be positive")
         if self.conservation not in CONSERVATION_MODES:
             raise ValueError(
                 f"conservation must be one of {CONSERVATION_MODES}, "

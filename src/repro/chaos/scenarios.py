@@ -107,6 +107,64 @@ def _host_crash_storm() -> Scenario:
     )
 
 
+# -- lease-expiry-storm --------------------------------------------------------
+
+
+def _lease_expiry_storm() -> Scenario:
+    """Two hosts go *silent* at once; lease expiry is the only signal."""
+
+    ttl = 0.0005
+
+    def go_silent(harness):
+        # Nothing is told about the failure: the keepalives just stop,
+        # for both hosts in the same TTL window (the "storm").  One TTL
+        # later the store expires both leases, cascading the host and
+        # container DELETEs to every watcher in attachment order.
+        harness.hosts.silence("host2")
+        harness.hosts.silence("host3")
+
+    def respawn_db(harness):
+        harness.hosts.respawn("db", on_host="host1")
+
+    def respawn_worker(harness):
+        harness.hosts.respawn("worker", on_host="host0")
+
+    def machines_rejoin(harness):
+        # recover_host re-grants the leases and resumes keepalives.
+        harness.hosts.restart("host2")
+        harness.hosts.restart("host3")
+
+    return Scenario(
+        name="lease-expiry-storm",
+        description="host2 and host3 go silent in the same TTL window; "
+                    "their leases lapse, the expiry DELETE cascade is "
+                    "the only failure signal, and the reconciler repairs "
+                    "every flow after the respawns",
+        hosts=4,
+        containers=(
+            Placement("web", "host0"),
+            Placement("cache", "host1"),
+            Placement("db", "host2"),
+            Placement("worker", "host3"),
+        ),
+        traffic=(
+            TrafficPair("web", "cache"),
+            TrafficPair("web", "db"),
+            TrafficPair("worker", "db"),
+        ),
+        steps=(
+            Step(0.001, "host2+host3 keepalives stop", go_silent),
+            Step(0.0022, "db respawns on host1", respawn_db),
+            Step(0.0024, "worker respawns on host0", respawn_worker),
+            Step(0.004, "silent machines rejoin (empty)", machines_rejoin),
+        ),
+        duration_s=0.006,
+        conservation="no-forge",
+        repair_bound_s=0.003,
+        host_lease_ttl_s=ttl,
+    )
+
+
 # -- control-plane-partition ---------------------------------------------------
 
 
@@ -384,6 +442,7 @@ SCENARIOS = {
     for factory in (
         _nic_loss_midflow,
         _host_crash_storm,
+        _lease_expiry_storm,
         _control_plane_partition,
         _watch_delay,
         _link_flap,

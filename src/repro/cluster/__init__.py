@@ -6,12 +6,13 @@ etcd-like KV store whose watches feed FreeFlow's network orchestrator.
 
 from .container import Container, ContainerSpec, ContainerStatus
 from .fabric import FabricController
-from .kvstore import ABSENT, KeyValueStore, Watch, WatchEvent
+from .kvstore import ABSENT, KeyValueStore, Lease, Watch, WatchBatch, WatchEvent
 from .orchestrator import ClusterOrchestrator
 from .scheduler import (
     AffinityStrategy,
     BinPackStrategy,
     PlacementStrategy,
+    RackAwareStrategy,
     RoundRobinStrategy,
     SpreadStrategy,
 )
@@ -26,9 +27,12 @@ __all__ = [
     "ContainerStatus",
     "FabricController",
     "KeyValueStore",
+    "Lease",
     "PlacementStrategy",
+    "RackAwareStrategy",
     "RoundRobinStrategy",
     "SpreadStrategy",
     "Watch",
+    "WatchBatch",
     "WatchEvent",
 ]

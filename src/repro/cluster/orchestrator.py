@@ -14,6 +14,18 @@ IPs, location queries with RPC latency, NIC capabilities, the mechanism
 policy — belongs to :class:`repro.core.orchestrator.NetworkOrchestrator`,
 which derives its state from here and is never a second source of truth
 for placement.
+
+Datacenter-scale shape (DESIGN.md §15): placement state is sharded by
+**rack**.  Every host joins a rack at :meth:`add_host`; per-host and
+per-rack load counters are maintained incrementally on every lifecycle
+transition (never recomputed by scanning containers), the up-host
+candidate tuple is cached across submits, and a per-host container
+index makes host teardown O(containers on that host).  With
+``host_lease_ttl_s`` set, host liveness is a KV **lease**: one
+keepalive pump refreshes every host's lease, and a host whose
+keepalives stop is detected by lease expiry — its ``/cluster/hosts/``
+key is deleted by the store itself and the orchestrator reacts through
+the lease's expiry hook, not through explicit ``fail_host`` calls.
 """
 
 from __future__ import annotations
@@ -27,13 +39,16 @@ from ..telemetry import registry as _registry
 from ..hardware.vm import VirtualMachine
 from .container import Container, ContainerSpec, ContainerStatus
 from .fabric import FabricController
-from .kvstore import KeyValueStore
+from .kvstore import KeyValueStore, Lease
 from .scheduler import PlacementStrategy, SpreadStrategy
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.scheduler import Environment
 
-__all__ = ["ClusterOrchestrator"]
+__all__ = ["ClusterOrchestrator", "DEFAULT_RACK"]
+
+#: Rack assigned to hosts registered without one (small-testbed mode).
+DEFAULT_RACK = "rack0"
 
 
 class ClusterOrchestrator:
@@ -45,6 +60,7 @@ class ClusterOrchestrator:
         strategy: Optional[PlacementStrategy] = None,
         fabric_controller: Optional[FabricController] = None,
         kvstore: Optional[KeyValueStore] = None,
+        host_lease_ttl_s: Optional[float] = None,
     ) -> None:
         self.env = env
         self.strategy = strategy or SpreadStrategy()
@@ -54,18 +70,54 @@ class ClusterOrchestrator:
         self._vms: dict[str, VirtualMachine] = {}
         self._containers: dict[str, Container] = {}
         self._down_hosts: set[str] = set()
+        # -- rack shards ----------------------------------------------------
+        self._rack_of: dict[str, str] = {}
+        #: rack -> {host name -> Host}, *up* hosts only, insertion order.
+        self._racks: dict[str, dict[str, Host]] = {}
+        self._rack_load: dict[str, int] = {}
+        # -- incremental accounting ----------------------------------------
+        #: host name -> containers currently placed there (not STOPPED).
+        self._load: dict[str, int] = {}
+        #: host name -> {container name -> None} (ordered set).
+        self._by_host: dict[str, dict[str, None]] = {}
+        #: Cached tuple of up hosts; rebuilt only on membership change.
+        self._up_cache: Optional[tuple[Host, ...]] = None
+        # -- lease-backed liveness -----------------------------------------
+        self.host_lease_ttl_s = host_lease_ttl_s
+        self._host_leases: dict[str, Lease] = {}
+        self._silenced: set[str] = set()
+        self._keepalive_proc = None
 
     # -- fleet management ---------------------------------------------------------
 
-    def add_host(self, host: Host) -> None:
+    def add_host(self, host: Host, rack: Optional[str] = None) -> None:
         if host.name in self._hosts:
             raise OrchestrationError(f"host {host.name!r} already registered")
         self._hosts[host.name] = host
-        self.kv.put(f"/cluster/hosts/{host.name}", {
+        rack = rack or DEFAULT_RACK
+        self._rack_of[host.name] = rack
+        self._racks.setdefault(rack, {})[host.name] = host
+        self._rack_load.setdefault(rack, 0)
+        self._load[host.name] = 0
+        self._by_host[host.name] = {}
+        self._up_cache = None
+        record = {
             "cores": host.cpu.cores,
             "rdma": host.rdma_capable,
             "dpdk": host.dpdk_capable,
-        })
+            "rack": rack,
+        }
+        if self.host_lease_ttl_s is not None:
+            lease = self.kv.grant(
+                self.host_lease_ttl_s,
+                on_expire=lambda _l, name=host.name: self._host_lease_expired(name),
+            )
+            self._host_leases[host.name] = lease
+            self.kv.put(f"/cluster/hosts/{host.name}", record, lease=lease)
+            if self._keepalive_proc is None:
+                self._keepalive_proc = self.env.process(self._keepalive_pump())
+        else:
+            self.kv.put(f"/cluster/hosts/{host.name}", record)
         registry = _registry.ACTIVE
         if registry is not None:
             registry.register_host(host)
@@ -92,6 +144,32 @@ class ClusterOrchestrator:
         except KeyError:
             raise OrchestrationError(f"unknown host {name!r}") from None
 
+    # -- rack topology ---------------------------------------------------------
+
+    def rack_of(self, host_name: str) -> str:
+        try:
+            return self._rack_of[host_name]
+        except KeyError:
+            raise OrchestrationError(f"unknown host {host_name!r}") from None
+
+    def rack_names(self) -> tuple[str, ...]:
+        return tuple(self._racks)
+
+    def rack_hosts(self, rack: str) -> Sequence[Host]:
+        """The *up* hosts currently in ``rack`` (registration order)."""
+        return tuple(self._racks.get(rack, {}).values())
+
+    def rack_load(self, rack: str) -> int:
+        return self._rack_load.get(rack, 0)
+
+    def load_of(self, host_name: str) -> int:
+        """Containers currently placed on ``host_name`` (not stopped)."""
+        return self._load.get(host_name, 0)
+
+    def containers_on(self, host_name: str) -> tuple[str, ...]:
+        """Names of containers currently recorded on ``host_name``."""
+        return tuple(self._by_host.get(host_name, ()))
+
     # -- container lifecycle ---------------------------------------------------------
 
     def submit(self, spec: ContainerSpec) -> Container:
@@ -102,6 +180,7 @@ class ClusterOrchestrator:
         container = Container(spec, host, vm)
         container.start()
         self._containers[spec.name] = container
+        self._account_place(spec.name, host.name)
         self._publish(container)
         _events.emit(self.env, "container.submit", container=spec.name,
                      host=host.name,
@@ -122,12 +201,13 @@ class ClusterOrchestrator:
             raise PlacementError(
                 f"pinned location {spec.pinned_host!r} is not a known host or VM"
             )
-        load = self._load_by_host()
-        candidates = tuple(
-            host for name, host in self._hosts.items()
-            if name not in self._down_hosts
-        )
-        host = self.strategy.place(spec, candidates, load)
+        candidates = self._up_cache
+        if candidates is None:
+            candidates = self._up_cache = tuple(
+                host for name, host in self._hosts.items()
+                if name not in self._down_hosts
+            )
+        host = self.strategy.place(spec, candidates, self._load)
         if host.name not in self._hosts:
             raise PlacementError(
                 f"strategy returned unregistered host {host.name!r}"
@@ -135,11 +215,29 @@ class ClusterOrchestrator:
         return host, None
 
     def _load_by_host(self) -> dict[str, int]:
-        load: dict[str, int] = {}
-        for container in self._containers.values():
-            if container.status is ContainerStatus.RUNNING:
-                load[container.host.name] = load.get(container.host.name, 0) + 1
-        return load
+        """Per-host count of placed containers (incrementally maintained;
+        returns a copy so strategies cannot corrupt the books)."""
+        return dict(self._load)
+
+    # -- incremental load/index bookkeeping ------------------------------------
+
+    def _account_place(self, name: str, host_name: str) -> None:
+        self._load[host_name] = self._load.get(host_name, 0) + 1
+        rack = self._rack_of.get(host_name)
+        if rack is not None:
+            self._rack_load[rack] += 1
+        self._by_host.setdefault(host_name, {})[name] = None
+
+    def _account_remove(self, name: str, host_name: str) -> None:
+        count = self._load.get(host_name, 0)
+        if count > 0:
+            self._load[host_name] = count - 1
+            rack = self._rack_of.get(host_name)
+            if rack is not None and self._rack_load.get(rack, 0) > 0:
+                self._rack_load[rack] -= 1
+        by_host = self._by_host.get(host_name)
+        if by_host is not None:
+            by_host.pop(name, None)
 
     def container(self, name: str) -> Container:
         try:
@@ -155,6 +253,8 @@ class ClusterOrchestrator:
 
     def stop(self, name: str) -> None:
         container = self.container(name)
+        if container.status is not ContainerStatus.STOPPED:
+            self._account_remove(name, container.host.name)
         container.stop()
         self.kv.delete(f"/cluster/containers/{name}")
 
@@ -162,6 +262,8 @@ class ClusterOrchestrator:
         """Forget a container entirely (it can be resubmitted by name)."""
         container = self._containers.pop(name, None)
         if container is not None:
+            if container.status is not ContainerStatus.STOPPED:
+                self._account_remove(name, container.host.name)
             container.stop()
             self.kv.delete(f"/cluster/containers/{name}")
 
@@ -172,15 +274,37 @@ class ClusterOrchestrator:
         """A host dies: its containers are lost; it leaves the pool.
 
         Returns the names of the containers that were lost so callers
-        (and FreeFlow's network layer) can react.
+        (and FreeFlow's network layer) can react.  On a lease-backed
+        fleet this revokes the host's lease (the store emits the
+        DELETE); the silent-death path — keepalives just stop — flows
+        through :meth:`_host_lease_expired` instead.
         """
-        host = self.host(host_name)
+        self.host(host_name)  # raises on unknown
+        lease = self._host_leases.pop(host_name, None)
+        if lease is not None and lease.alive:
+            self.kv.revoke(lease)
+        else:
+            self.kv.delete(f"/cluster/hosts/{host_name}")
+        return self._mark_host_down(host_name)
+
+    def _host_lease_expired(self, host_name: str) -> None:
+        """Expiry hook: the store already deleted the host's keys."""
+        self._host_leases.pop(host_name, None)
+        _events.emit(self.env, "host.lease_expired", host=host_name)
+        self._mark_host_down(host_name)
+
+    def _mark_host_down(self, host_name: str) -> list[str]:
         self._down_hosts.add(host_name)
-        self.kv.delete(f"/cluster/hosts/{host_name}")
+        self._up_cache = None
+        rack = self._rack_of.get(host_name)
+        if rack is not None:
+            self._racks.get(rack, {}).pop(host_name, None)
+        host = self._hosts[host_name]
         lost = [
-            name for name, container in self._containers.items()
-            if container.host is host
-            and container.status is not ContainerStatus.STOPPED
+            name for name in self.containers_on(host_name)
+            if self._containers.get(name) is not None
+            and self._containers[name].host is host
+            and self._containers[name].status is not ContainerStatus.STOPPED
         ]
         for name in lost:
             self.remove(name)
@@ -190,19 +314,63 @@ class ClusterOrchestrator:
         """Bring a previously failed host back into the pool."""
         host = self.host(host_name)
         self._down_hosts.discard(host_name)
-        self.kv.put(f"/cluster/hosts/{host.name}", {
+        self._up_cache = None
+        rack = self._rack_of.get(host_name, DEFAULT_RACK)
+        self._racks.setdefault(rack, {})[host_name] = host
+        record = {
             "cores": host.cpu.cores,
             "rdma": host.rdma_capable,
             "dpdk": host.dpdk_capable,
-        })
+            "rack": rack,
+        }
+        if self.host_lease_ttl_s is not None:
+            lease = self.kv.grant(
+                self.host_lease_ttl_s,
+                on_expire=lambda _l, name=host_name: self._host_lease_expired(name),
+            )
+            self._host_leases[host_name] = lease
+            self._silenced.discard(host_name)
+            self.kv.put(f"/cluster/hosts/{host.name}", record, lease=lease)
+            if self._keepalive_proc is None:
+                self._keepalive_proc = self.env.process(self._keepalive_pump())
+        else:
+            self.kv.put(f"/cluster/hosts/{host.name}", record)
         _events.emit(self.env, "host.recover", host=host_name)
 
-    def watch_hosts(self):
+    # -- lease keepalive -------------------------------------------------------
+
+    def silence_keepalives(self, host_name: str, silenced: bool = True) -> None:
+        """Stop (or resume) refreshing a host's lease — the failure
+        injection seam for "the host went silent": its lease lapses a
+        TTL later and the fleet learns via the DELETE cascade."""
+        if silenced:
+            self._silenced.add(host_name)
+        else:
+            self._silenced.discard(host_name)
+
+    def _keepalive_pump(self):
+        """One process heartbeats every live host lease at TTL/3 — the
+        per-host agent heartbeat, aggregated (O(log leases) per refresh,
+        no per-host process)."""
+        ttl = self.host_lease_ttl_s
+        while True:
+            yield self.env.timeout(ttl / 3.0)
+            if not self._host_leases:
+                continue
+            for name, lease in list(self._host_leases.items()):
+                if name in self._silenced or not lease.alive:
+                    continue
+                self.kv.keepalive(lease)
+
+    def host_lease(self, host_name: str) -> Optional[Lease]:
+        return self._host_leases.get(host_name)
+
+    def watch_hosts(self, coalesce_s: Optional[float] = None):
         """Watch host liveness: a DELETE under ``/cluster/hosts/`` is a
         host failure, a PUT is an admission or recovery.  This is the
         feed the flow reconciler subscribes to (paper §2.1's
         failure-mitigation story, made push-style)."""
-        return self.kv.watch("/cluster/hosts/")
+        return self.kv.watch("/cluster/hosts/", coalesce_s=coalesce_s)
 
     def is_host_up(self, host_name: str) -> bool:
         return host_name in self._hosts and host_name not in self._down_hosts
@@ -215,6 +383,7 @@ class ClusterOrchestrator:
         record and publishes the change.
         """
         container = self.container(name)
+        old_host = container.host.name
         if destination in self._vms:
             vm = self._vms[destination]
             container.relocate(vm.host, vm)
@@ -222,6 +391,9 @@ class ClusterOrchestrator:
             container.relocate(self._hosts[destination], None)
         else:
             raise PlacementError(f"unknown destination {destination!r}")
+        if container.status is not ContainerStatus.STOPPED:
+            self._account_remove(name, old_host)
+            self._account_place(name, container.host.name)
         self._publish(container)
         _events.emit(self.env, "container.migrate", container=name,
                      destination=destination,

@@ -25,6 +25,7 @@ __all__ = [
     "BinPackStrategy",
     "RoundRobinStrategy",
     "AffinityStrategy",
+    "RackAwareStrategy",
 ]
 
 
@@ -89,6 +90,52 @@ class RoundRobinStrategy:
         host = hosts[self._next % len(hosts)]
         self._next += 1
         return host
+
+
+class RackAwareStrategy:
+    """Two-level rack-sharded placement: pick the least-loaded rack by
+    average per-host load, then the least-loaded up host inside it.
+
+    Cost per submit is O(#racks + rack size) against the orchestrator's
+    incrementally-maintained shard counters — it does not scan the fleet,
+    so placement cost stops scaling with host count (DESIGN.md §15).  A
+    ``rack`` label on the spec pins the choice to that rack.  Without a
+    bound cluster (``RackAwareStrategy()``), falls back to spreading over
+    the offered candidates.
+    """
+
+    def __init__(self, cluster=None) -> None:
+        #: The :class:`~repro.cluster.orchestrator.ClusterOrchestrator`
+        #: whose rack shards we read; bound late by callers that build
+        #: the strategy before the cluster.
+        self.cluster = cluster
+        self._fallback = SpreadStrategy()
+
+    def place(self, spec, hosts, load):
+        cluster = self.cluster
+        if cluster is None:
+            return self._fallback.place(spec, hosts, load)
+        pinned_rack = spec.labels.get("rack")
+        if pinned_rack is not None:
+            racks = (pinned_rack,)
+        else:
+            racks = cluster.rack_names()
+        best_rack = None
+        best_key = None
+        for rack in racks:
+            up = len(cluster.rack_hosts(rack))
+            if up == 0:
+                continue
+            key = (cluster.rack_load(rack) / up, rack)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_rack = rack
+        if best_rack is None:
+            raise PlacementError(
+                f"no rack with live hosts (racks considered: {list(racks)!r})"
+            )
+        candidates = cluster.rack_hosts(best_rack)
+        return min(candidates, key=lambda h: (load.get(h.name, 0), h.name))
 
 
 class AffinityStrategy:

@@ -34,7 +34,9 @@ import enum
 import itertools
 from typing import TYPE_CHECKING, Optional
 
+from ..cluster.kvstore import WatchBatch
 from ..errors import (
+    CompactedRevision,
     ConnectionReset,
     FlowStateError,
     FreeFlowError,
@@ -477,12 +479,21 @@ class FlowReconciler:
 
     DRAIN_POLL_S = 100e-6
     SETTLE_POLL_S = 100e-6
+    #: Default watch flush window.  0.0 still batches: every delivery in
+    #: the same simulated instant (a lease-expiry cascade, a rack of
+    #: host DELETEs) coalesces into one WatchBatch, with no added
+    #: latency for the solitary-event case.
+    COALESCE_S = 0.0
 
     def __init__(self, network: "FreeFlowNetwork",
-                 backoff: Optional[Backoff] = None) -> None:
+                 backoff: Optional[Backoff] = None,
+                 coalesce_s: Optional[float] = COALESCE_S) -> None:
         self.network = network
         self.env = network.env
         self.table = network.flows
+        #: Flush window handed to the three watches (None = per-event
+        #: delivery, the pre-batching behaviour).
+        self.coalesce_s = coalesce_s
         #: Retry schedule for rebind/repair attempts.  Seeded (stream
         #: name, not wall clock), so runs are reproducible; pass a
         #: custom :class:`~repro.sim.backoff.Backoff` to retune.
@@ -513,10 +524,13 @@ class FlowReconciler:
         self.running = True
         orchestrator = self.network.orchestrator
         containers = orchestrator.kv.watch(
-            "/network/containers/", include_existing=True
+            "/network/containers/", include_existing=True,
+            coalesce_s=self.coalesce_s,
         )
-        hosts = self.network.cluster.watch_hosts()
-        capabilities = orchestrator.watch_capabilities()
+        hosts = self.network.cluster.watch_hosts(coalesce_s=self.coalesce_s)
+        capabilities = orchestrator.watch_capabilities(
+            coalesce_s=self.coalesce_s
+        )
         self._watches = [containers, hosts, capabilities]
         self._procs = [
             self.env.process(self._container_pump(containers)),
@@ -574,62 +588,97 @@ class FlowReconciler:
         }
         for name in sorted(set(self._locations) - published):
             self._locations.pop(name, None)
-        replayed = sum(watch.resync() for watch in self._watches)
+        replayed = 0
+        for watch in self._watches:
+            # Precise-first: replay exactly the missed events (DELETEs
+            # included) from the store's retained history; fall back to
+            # the snapshot replay once the history has been compacted
+            # past our last delivered revision.
+            try:
+                replayed += watch.resync(since=watch.last_revision)
+            except CompactedRevision:
+                replayed += watch.resync()
         _events.emit(self.env, "reconciler.resync", replayed=replayed)
         return replayed
 
     # -- watch pumps ---------------------------------------------------------
 
+    @staticmethod
+    def _events_of(item) -> tuple:
+        """Normalize a queue item: coalesced batch or single event."""
+        if type(item) is WatchBatch:
+            return item.events
+        return (item,)
+
     def _container_pump(self, watch):
         while True:
-            event = yield watch.queue.get()
+            item = yield watch.queue.get()
             if not self.running:
                 return
-            name = event.key.rsplit("/", 1)[-1]
             self._busy += 1
             try:
-                if event.kind == "delete":
-                    self._locations.pop(name, None)
-                    continue
-                placement = (event.value.get("host"),
-                             event.value.get("generation"))
-                previous = self._locations.get(name)
-                self._locations[name] = placement
-                if previous is None:
-                    # New (or replayed) endpoint: it may unblock repairs.
+                arrived: list[str] = []
+                moved: list[str] = []
+                for event in self._events_of(item):
+                    name = event.key.rsplit("/", 1)[-1]
+                    if event.kind == "delete":
+                        self._locations.pop(name, None)
+                        continue
+                    placement = (event.value.get("host"),
+                                 event.value.get("generation"))
+                    previous = self._locations.get(name)
+                    self._locations[name] = placement
+                    if previous is None:
+                        # New (or replayed) endpoint: may unblock repairs.
+                        arrived.append(name)
+                    elif previous != placement:
+                        moved.append(name)
+                for name in arrived:
                     yield from self._repair_pass(name)
-                elif previous != placement:
-                    self.reconciliations += 1
-                    yield from self.reconcile_container(name)
+                if moved:
+                    self.reconciliations += len(moved)
+                    yield from self.reconcile_containers(moved)
             finally:
                 self._busy -= 1
 
     def _host_pump(self, watch):
         while True:
-            event = yield watch.queue.get()
+            item = yield watch.queue.get()
             if not self.running:
                 return
-            host_name = event.key.rsplit("/", 1)[-1]
             self._busy += 1
             try:
-                if event.kind == "delete":
-                    self.host_failed(host_name)
-                else:
-                    # Admission or recovery: capabilities may differ from
-                    # what flows were decided with.
+                recheck: list[str] = []
+                for event in self._events_of(item):
+                    host_name = event.key.rsplit("/", 1)[-1]
+                    if event.kind == "delete":
+                        # Failure (explicit or lease expiry): synchronous,
+                        # so a whole-rack batch breaks every lost flow
+                        # before any rebind work starts.
+                        self.host_failed(host_name)
+                    elif host_name not in recheck:
+                        # Admission or recovery: capabilities may differ
+                        # from what flows were decided with.
+                        recheck.append(host_name)
+                for host_name in recheck:
                     yield from self.reconcile_capability(host_name)
             finally:
                 self._busy -= 1
 
     def _capability_pump(self, watch):
         while True:
-            event = yield watch.queue.get()
+            item = yield watch.queue.get()
             if not self.running:
                 return
-            host_name = event.key.rsplit("/", 1)[-1]
             self._busy += 1
             try:
-                yield from self.reconcile_capability(host_name)
+                recheck: list[str] = []
+                for event in self._events_of(item):
+                    host_name = event.key.rsplit("/", 1)[-1]
+                    if host_name not in recheck:
+                        recheck.append(host_name)
+                for host_name in recheck:
+                    yield from self.reconcile_capability(host_name)
             finally:
                 self._busy -= 1
 
@@ -690,17 +739,34 @@ class FlowReconciler:
     def reconcile_container(self, name: str):
         """Generator: an endpoint moved — converge its flows.
 
+        Singleton form of :meth:`reconcile_containers`; kept as the
+        direct API the migration controller calls.
+        """
+        changes = yield from self.reconcile_containers((name,))
+        return changes
+
+    def reconcile_containers(self, names):
+        """Generator: a batch of endpoints moved — converge their flows.
+
         Pauses (if not already paused), drains, rebinds and resumes
-        every ACTIVE/PAUSED flow touching ``name``.  Flows the caller
-        paused stay paused (the migration controller owns its downtime
-        window).  Returns ``[(flow, old, new)]`` mechanism changes.
+        every ACTIVE/PAUSED flow touching any of ``names`` — one
+        pause → drain → rebind → resume cycle for the whole batch, so a
+        coalesced watch delivery costs one drain wait instead of one per
+        event.  Flows the caller paused stay paused (the migration
+        controller owns its downtime window).  Returns
+        ``[(flow, old, new)]`` mechanism changes.
         """
         network = self.network
-        network.invalidate(name)
-        affected = [
-            flow for flow in self.table.flows_for(name)
-            if flow.state in (FlowState.ACTIVE, FlowState.PAUSED)
-        ]
+        affected: list = []
+        seen: set[int] = set()
+        for name in names:
+            network.invalidate(name)
+            for flow in self.table.flows_for(name):
+                if id(flow) in seen:
+                    continue
+                seen.add(id(flow))
+                if flow.state in (FlowState.ACTIVE, FlowState.PAUSED):
+                    affected.append(flow)
         changes: list = []
         if not affected:
             return changes
@@ -788,12 +854,18 @@ class FlowReconciler:
             network.invalidate(name)
             self._locations.pop(name, None)
         network._agents.pop(host_name, None)
-        lost_set = set(lost)
         broken: list[FlowConnection] = []
-        for flow in self.table.open_flows():
-            if flow.state in (FlowState.BROKEN, FlowState.CLOSED):
-                continue
-            if flow.src_name in lost_set or flow.dst_name in lost_set:
+        seen: set[int] = set()
+        # Per-endpoint index instead of a full flow-table scan: a dead
+        # host costs O(its containers' flows), not O(all flows) — at
+        # 100k fleet-wide flows the difference is the whole budget.
+        for name in lost:
+            for flow in self.table.flows_for(name):
+                if id(flow) in seen:
+                    continue
+                seen.add(id(flow))
+                if flow.state in (FlowState.BROKEN, FlowState.CLOSED):
+                    continue
                 self.table.transition(flow, FlowState.BROKEN,
                                       reason=f"host {host_name} failed")
                 if flow.channel is not None:
@@ -847,7 +919,7 @@ class FlowReconciler:
         quiet = 0
         while quiet < 2:
             yield self.env.timeout(self.SETTLE_POLL_S)
-            if self._busy or any(w.queue.items for w in self._watches):
+            if self._busy or any(w.has_pending() for w in self._watches):
                 quiet = 0
                 continue
             flows = (self.table.flows_for(name) if name is not None

@@ -77,6 +77,12 @@ class NetworkOrchestrator:
         self.kv = KeyValueStore(cluster.env)
         self._records: dict[str, ContainerRecord] = {}
         self._ip_index: dict[str, str] = {}  # ip -> container name
+        #: host name -> {container name -> None}: the per-host shard of
+        #: the records, so host-failure handling touches only the dead
+        #: host's containers instead of scanning the fleet.  Re-keyed on
+        #: :meth:`refresh_location` (the publish step of a migration).
+        self._host_index: dict[str, dict[str, None]] = {}
+        self._host_of: dict[str, str] = {}  # container name -> indexed host
         #: Runtime NIC-capability overrides, host name -> partial caps
         #: dict (e.g. ``{"rdma": False}``).  The registry view can
         #: diverge from the hardware when an operator drains a NIC.
@@ -95,6 +101,7 @@ class NetworkOrchestrator:
         record = ContainerRecord(container, ip, container.generation)
         self._records[container.name] = record
         self._ip_index[ip] = container.name
+        self._index_host(container.name, record.host_name)
         self._publish(record)
         _events.emit(self.env, "container.register",
                      container=container.name, ip=ip,
@@ -106,6 +113,7 @@ class NetworkOrchestrator:
         if record is None:
             return
         self._ip_index.pop(record.ip, None)
+        self._unindex_host(name)
         self.subnets.pool(record.container.tenant).release(record.ip)
         record.container.ip = None
         self.kv.delete(f"/network/containers/{name}")
@@ -116,6 +124,7 @@ class NetworkOrchestrator:
         """Re-sync a record after the cluster moved the container."""
         record = self._record(name)
         record.generation = record.container.generation
+        self._index_host(name, record.host_name)
         self._publish(record)
         _events.emit(self.env, "container.relocate", container=name,
                      host=record.host_name,
@@ -225,20 +234,41 @@ class NetworkOrchestrator:
                      degraded=bool(caps.get("degraded", False)))
         return caps
 
+    def _index_host(self, name: str, host_name: str) -> None:
+        old = self._host_of.get(name)
+        if old == host_name:
+            return
+        if old is not None:
+            shard = self._host_index.get(old)
+            if shard is not None:
+                shard.pop(name, None)
+                if not shard:
+                    del self._host_index[old]
+        self._host_of[name] = host_name
+        self._host_index.setdefault(host_name, {})[name] = None
+
+    def _unindex_host(self, name: str) -> None:
+        host_name = self._host_of.pop(name, None)
+        if host_name is None:
+            return
+        shard = self._host_index.get(host_name)
+        if shard is not None:
+            shard.pop(name, None)
+            if not shard:
+                del self._host_index[host_name]
+
     def containers_on(self, host_name: str) -> list[str]:
-        """Names of registered containers recorded on ``host_name``."""
-        return [
-            name for name, record in self._records.items()
-            if record.container.host.name == host_name
-        ]
+        """Names of registered containers recorded on ``host_name`` —
+        served from the per-host index, O(containers on that host)."""
+        return list(self._host_index.get(host_name, ()))
 
     def watch_container(self, name: str) -> Watch:
         """Subscribe to placement/IP changes of one container."""
         return self.kv.watch(f"/network/containers/{name}")
 
-    def watch_capabilities(self) -> Watch:
+    def watch_capabilities(self, coalesce_s: Optional[float] = None) -> Watch:
         """Subscribe to runtime NIC-capability changes (all hosts)."""
-        return self.kv.watch("/network/nics/")
+        return self.kv.watch("/network/nics/", coalesce_s=coalesce_s)
 
     # -- convenience --------------------------------------------------------------
 

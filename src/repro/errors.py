@@ -21,6 +21,8 @@ __all__ = [
     "UnknownContainer",
     "PlacementError",
     "FlowStateError",
+    "LeaseError",
+    "CompactedRevision",
     "EngineInvariantError",
     "SanitizerViolation",
     "SocketError",
@@ -102,6 +104,26 @@ class FlowStateError(OrchestrationError):
     Raised by :class:`repro.core.flows.FlowTable` when a caller asks for
     a transition the state machine does not permit (e.g. repairing a
     flow that never broke, or rebinding a closed flow).
+    """
+
+
+class LeaseError(OrchestrationError):
+    """Misuse of a KV lease (unknown id, or operating on a dead lease).
+
+    Raised by :class:`repro.cluster.kvstore.KeyValueStore` when a caller
+    keepalives or attaches keys to a lease that has already expired or
+    been revoked — the etcd behaviour (``ErrLeaseNotFound``) that forces
+    clients to notice their session died instead of writing into a void.
+    """
+
+
+class CompactedRevision(OrchestrationError):
+    """The requested watch revision predates the compaction horizon.
+
+    Raised by :meth:`repro.cluster.kvstore.Watch.resync` (and
+    ``watch(start_revision=...)``) when the revision history needed for a
+    precise replay has been compacted away.  Callers recover the way etcd
+    clients do: fall back to a full snapshot resync and diff.
     """
 
 

@@ -258,6 +258,24 @@ class Store:
             self._trigger()
         return item
 
+    def drain(self) -> list[Any]:
+        """Non-blocking drain: take *every* buffered item in FIFO order.
+
+        The bulk counterpart of :meth:`try_get` — one call, one list, no
+        per-item trigger churn.  Blocked puts are admitted afterwards
+        (the drain freed capacity), so a bounded store keeps flowing;
+        items admitted that way stay in the buffer for the *next* drain,
+        preserving the rule that a drain only returns what had already
+        been delivered when it was called.
+        """
+        if not self.items:
+            return []
+        items = list(self.items)
+        self.items.clear()
+        if self._put_queue or self._get_queue:
+            self._trigger()
+        return items
+
     # -- internals --------------------------------------------------------
 
     def _trigger(self) -> None:

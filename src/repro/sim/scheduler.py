@@ -234,6 +234,43 @@ class Environment:
                 events = 0
                 try:
                     while ready or tail or queue:
+                        if ready and not queue and (
+                            not tail or tail[0][0] > ready[0][0]
+                        ):
+                            # Batched same-timestamp drain.  Every pending
+                            # ready entry shares one timestamp (ready
+                            # entries are appended at the current time and
+                            # the clock cannot advance past one), and the
+                            # tail/heap heads are strictly later — so the
+                            # whole run pops FIFO with no per-event
+                            # three-way compare, in heap-identical order
+                            # (appends during the run land at the same
+                            # time with larger eids, i.e. after).  A rack
+                            # failure fanning out thousands of same-tick
+                            # callbacks rides this loop.  Bail out to the
+                            # careful loop if an URGENT event lands on the
+                            # heap mid-run (it must preempt the rest), or
+                            # if a mid-run append seeds an empty tail at
+                            # the current instant (sub-ulp delays round
+                            # to now).
+                            popleft = ready.popleft
+                            while ready:
+                                self._now, _, _, event = popleft()
+                                events += 1
+                                callbacks = event._callbacks
+                                event._callbacks = None
+                                if type(callbacks) is list:
+                                    for callback in callbacks:
+                                        callback(event)
+                                elif callbacks is not NO_CALLBACKS:
+                                    callbacks(event)
+                                if not event._ok and not event.defused:
+                                    raise event._value
+                                if queue or (
+                                    tail and tail[0][0] <= self._now
+                                ):
+                                    break
+                            continue
                         if ready:
                             best = ready[0]
                             if tail and tail[0] < best:

@@ -1,0 +1,131 @@
+"""Unit tests for KV-store leases (TTL sessions, expiry cascades)."""
+
+import pytest
+
+from repro.cluster import KeyValueStore
+from repro.errors import LeaseError
+
+
+@pytest.fixture
+def kv(env):
+    return KeyValueStore(env)
+
+
+class TestLeaseLifecycle:
+    def test_grant_validates_ttl(self, kv):
+        with pytest.raises(ValueError):
+            kv.grant(0.0)
+        with pytest.raises(ValueError):
+            kv.grant(-1.0)
+
+    def test_expiry_deletes_attached_keys_in_order(self, env, kv):
+        lease = kv.grant(1.0)
+        kv.put("/hosts/h1", "a", lease=lease)
+        kv.put("/hosts/h1/nic", "b", lease=lease)
+        watch = kv.watch("/hosts/")
+        env.run(until=1.5)
+        assert not lease.alive
+        assert kv.get("/hosts/h1") is None
+        assert kv.get("/hosts/h1/nic") is None
+        assert [(e.kind, e.key) for e in watch.pending()] == [
+            ("delete", "/hosts/h1"),
+            ("delete", "/hosts/h1/nic"),
+        ]
+        assert kv.lease_count() == 0
+
+    def test_expiry_runs_hook_after_deletes(self, env, kv):
+        seen = []
+        lease = kv.grant(
+            0.5, on_expire=lambda l: seen.append((l.lease_id, len(kv)))
+        )
+        kv.put("/a", 1, lease=lease)
+        env.run(until=1.0)
+        # The key was already gone when the hook ran.
+        assert seen == [(lease.lease_id, 0)]
+
+    def test_keepalive_extends_deadline(self, env, kv):
+        lease = kv.grant(1.0)
+        kv.put("/a", 1, lease=lease)
+
+        def heartbeat():
+            for _ in range(5):
+                yield env.timeout(0.5)
+                kv.keepalive(lease)
+
+        env.process(heartbeat())
+        env.run(until=3.0)
+        assert lease.alive
+        assert kv.get("/a") == 1
+        env.run(until=5.0)  # heartbeats stopped at 2.5: lapses at 3.5
+        assert not lease.alive
+        assert kv.get("/a") is None
+
+    def test_keepalive_dead_lease_raises(self, env, kv):
+        lease = kv.grant(0.1)
+        env.run(until=0.2)
+        with pytest.raises(LeaseError):
+            kv.keepalive(lease)
+
+    def test_put_with_dead_lease_raises(self, env, kv):
+        lease = kv.grant(0.1)
+        env.run(until=0.2)
+        with pytest.raises(LeaseError):
+            kv.put("/a", 1, lease=lease)
+
+    def test_revoke_deletes_now(self, env, kv):
+        lease = kv.grant(10.0)
+        kv.put("/a", 1, lease=lease)
+        kv.put("/b", 2, lease=lease)
+        hook = []
+        lease.on_expire = lambda l: hook.append(l)
+        assert kv.revoke(lease) == ["/a", "/b"]
+        assert not lease.alive
+        assert len(kv) == 0
+        assert hook == []  # revocation is deliberate: no expiry hook
+        with pytest.raises(LeaseError):
+            kv.revoke(lease)
+
+    def test_plain_put_detaches_from_lease(self, env, kv):
+        lease = kv.grant(1.0)
+        kv.put("/a", 1, lease=lease)
+        kv.put("/a", 2)  # etcd semantics: detaches
+        env.run(until=2.0)
+        assert not lease.alive
+        assert kv.get("/a") == 2
+
+    def test_reput_moves_key_between_leases(self, env, kv):
+        short = kv.grant(1.0)
+        long = kv.grant(5.0)
+        kv.put("/a", 1, lease=short)
+        kv.put("/a", 2, lease=long)
+        env.run(until=2.0)  # short lapses without taking /a
+        assert kv.get("/a") == 2
+        env.run(until=6.0)
+        assert kv.get("/a") is None
+
+    def test_delete_detaches_key(self, env, kv):
+        lease = kv.grant(1.0)
+        kv.put("/a", 1, lease=lease)
+        kv.delete("/a")
+        assert lease.keys == {}
+        env.run(until=2.0)  # expiry cascade has nothing left to do
+        assert not lease.alive
+
+    def test_independent_deadlines_one_timer(self, env, kv):
+        """Many leases share the lazy expiry timer; each dies on time."""
+        deaths = []
+        for i in range(1, 6):
+            kv.grant(float(i),
+                     on_expire=lambda l, i=i: deaths.append((i, env.now)))
+        env.run(until=10.0)
+        assert deaths == [(i, float(i)) for i in range(1, 6)]
+
+    def test_keepalive_storm_stays_cheap(self, env, kv):
+        """Stale heap entries from keepalives are skipped, not scanned."""
+        lease = kv.grant(1.0)
+        for _ in range(100):
+            kv.keepalive(lease)
+        env.run(until=0.5)
+        assert lease.alive
+        env.run(until=2.5)
+        assert not lease.alive

@@ -1,0 +1,172 @@
+"""Rack-sharded orchestration: topology, incremental load accounting,
+rack-aware placement and lease-backed host liveness."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterOrchestrator,
+    ContainerSpec,
+    RackAwareStrategy,
+)
+from repro.cluster.orchestrator import DEFAULT_RACK
+from repro.errors import OrchestrationError, PlacementError
+from repro.hardware import Host
+from repro.sim import Environment
+
+
+def build(env, hosts=6, racks=3, ttl=None):
+    strategy = RackAwareStrategy()
+    cluster = ClusterOrchestrator(env, strategy=strategy,
+                                  host_lease_ttl_s=ttl)
+    strategy.cluster = cluster
+    for i in range(hosts):
+        cluster.add_host(Host(env, f"h{i}"), rack=f"r{i % racks}")
+    return cluster
+
+
+class TestRackTopology:
+    def test_membership(self, env):
+        cluster = build(env)
+        assert cluster.rack_names() == ("r0", "r1", "r2")
+        assert cluster.rack_of("h4") == "r1"
+        assert [h.name for h in cluster.rack_hosts("r0")] == ["h0", "h3"]
+        with pytest.raises(OrchestrationError):
+            cluster.rack_of("nope")
+
+    def test_default_rack(self, env):
+        cluster = ClusterOrchestrator(env)
+        cluster.add_host(Host(env, "h1"))
+        assert cluster.rack_of("h1") == DEFAULT_RACK
+
+    def test_fail_host_leaves_rack_up_set(self, env):
+        cluster = build(env)
+        cluster.fail_host("h0")
+        assert [h.name for h in cluster.rack_hosts("r0")] == ["h3"]
+        cluster.recover_host("h0")
+        assert [h.name for h in cluster.rack_hosts("r0")] == ["h3", "h0"]
+
+
+class TestIncrementalLoad:
+    def test_lifecycle_keeps_counts(self, env):
+        cluster = build(env)
+        cluster.submit(ContainerSpec("a", pinned_host="h0"))
+        cluster.submit(ContainerSpec("b", pinned_host="h0"))
+        cluster.submit(ContainerSpec("c", pinned_host="h1"))
+        assert cluster.load_of("h0") == 2
+        assert cluster.rack_load("r0") == 2
+        assert cluster.containers_on("h0") == ("a", "b")
+        cluster.stop("a")
+        assert cluster.load_of("h0") == 1
+        cluster.remove("a")  # stop then remove must not double-decrement
+        assert cluster.load_of("h0") == 1
+        cluster.remove("b")
+        assert cluster.load_of("h0") == 0
+        assert cluster.rack_load("r0") == 0
+        assert cluster.rack_load("r1") == 1
+
+    def test_relocate_moves_counts_between_racks(self, env):
+        cluster = build(env)
+        cluster.submit(ContainerSpec("a", pinned_host="h0"))
+        cluster.relocate("a", "h1")
+        assert cluster.load_of("h0") == 0
+        assert cluster.load_of("h1") == 1
+        assert cluster.rack_load("r0") == 0
+        assert cluster.rack_load("r1") == 1
+        assert cluster.containers_on("h1") == ("a",)
+
+    def test_load_by_host_is_a_copy(self, env):
+        cluster = build(env)
+        cluster.submit(ContainerSpec("a", pinned_host="h0"))
+        view = cluster._load_by_host()
+        view["h0"] = 99
+        assert cluster.load_of("h0") == 1
+
+    def test_fail_host_drops_its_containers_from_books(self, env):
+        cluster = build(env)
+        cluster.submit(ContainerSpec("a", pinned_host="h0"))
+        cluster.submit(ContainerSpec("b", pinned_host="h3"))
+        lost = cluster.fail_host("h0")
+        assert lost == ["a"]
+        assert cluster.load_of("h0") == 0
+        assert cluster.rack_load("r0") == 1  # b on h3 survives
+
+
+class TestRackAwarePlacement:
+    def test_spreads_across_racks_by_average_load(self, env):
+        cluster = build(env)
+        placed = [cluster.submit(ContainerSpec(f"c{i}")).host.name
+                  for i in range(6)]
+        # Six submits over three two-host racks land one per host.
+        assert sorted(placed) == [f"h{i}" for i in range(6)]
+
+    def test_rack_pin_label(self, env):
+        cluster = build(env)
+        c = cluster.submit(ContainerSpec("a", labels={"rack": "r2"}))
+        assert cluster.rack_of(c.host.name) == "r2"
+
+    def test_skips_racks_with_no_live_hosts(self, env):
+        cluster = build(env, hosts=2, racks=2)
+        cluster.fail_host("h0")
+        for i in range(3):
+            assert cluster.submit(ContainerSpec(f"c{i}")).host.name == "h1"
+
+    def test_all_racks_down_raises(self, env):
+        cluster = build(env, hosts=2, racks=2)
+        cluster.fail_host("h0")
+        cluster.fail_host("h1")
+        with pytest.raises(PlacementError):
+            cluster.submit(ContainerSpec("a"))
+
+    def test_unbound_strategy_falls_back_to_spread(self, env):
+        strategy = RackAwareStrategy()  # no cluster bound
+        cluster = ClusterOrchestrator(env, strategy=strategy)
+        cluster.add_host(Host(env, "h1"))
+        assert cluster.submit(ContainerSpec("a")).host.name == "h1"
+
+
+class TestLeaseBackedLiveness:
+    TTL = 0.3
+
+    def test_keepalives_keep_hosts_up(self, env):
+        cluster = build(env, ttl=self.TTL)
+        env.run(until=10 * self.TTL)
+        assert all(cluster.is_host_up(f"h{i}") for i in range(6))
+        assert cluster.kv.lease_count() == 6
+
+    def test_silent_host_expires_and_cascades(self, env):
+        cluster = build(env, ttl=self.TTL)
+        cluster.submit(ContainerSpec("a", pinned_host="h0"))
+        watch = cluster.watch_hosts()
+        env.run(until=self.TTL)
+        watch.pending()  # drain steady-state noise
+        cluster.silence_keepalives("h0")
+        env.run(until=4 * self.TTL)
+        assert not cluster.is_host_up("h0")
+        assert cluster.host_lease("h0") is None
+        # The *store* deleted the host key; watchers saw an ordinary
+        # DELETE — nobody called fail_host.
+        assert [(e.kind, e.key) for e in watch.pending()] == [
+            ("delete", "/cluster/hosts/h0"),
+        ]
+        assert "a" not in [c.spec.name for c in cluster.containers()]
+
+    def test_fail_host_revokes_lease(self, env):
+        cluster = build(env, ttl=self.TTL)
+        lease = cluster.host_lease("h0")
+        cluster.fail_host("h0")
+        assert not lease.alive
+        assert cluster.kv.get("/cluster/hosts/h0") is None
+
+    def test_recover_host_regrants_and_resumes(self, env):
+        cluster = build(env, ttl=self.TTL)
+        cluster.silence_keepalives("h0")
+        env.run(until=3 * self.TTL)
+        assert not cluster.is_host_up("h0")
+        cluster.recover_host("h0")
+        env.run(until=10 * self.TTL)  # keepalives resumed: stays up
+        assert cluster.is_host_up("h0")
+        assert cluster.kv.get("/cluster/hosts/h0") is not None
+
+    def test_host_record_carries_rack(self, env):
+        cluster = build(env, ttl=self.TTL)
+        assert cluster.kv.get("/cluster/hosts/h4")["rack"] == "r1"

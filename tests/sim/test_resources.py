@@ -430,3 +430,47 @@ class TestTankFastPath:
         assert big.triggered
         assert small.triggered
         assert tank.level == 30.0 + 25.0 - 50.0 - 1.0
+
+
+class TestStoreDrain:
+    """Bulk non-blocking drain: the consumption primitive behind
+    coalesced watch delivery and batch completion reaping."""
+
+    def test_drain_returns_fifo_and_clears(self, env):
+        store = Store(env)
+        for item in (1, 2, 3):
+            store.put(item)
+        assert store.drain() == [1, 2, 3]
+        assert len(store) == 0
+        assert store.drain() == []
+
+    def test_drain_admits_blocked_puts_for_next_drain(self, env):
+        store = Store(env, capacity=2)
+        store.put(1)
+        store.put(2)
+        blocked = store.put(3)
+        assert not blocked.triggered
+        assert store.drain() == [1, 2]
+        env.run()
+        # The freed capacity admitted the blocked put — but only the
+        # *next* drain sees it: a drain returns what had already been
+        # delivered when it was called.
+        assert blocked.triggered
+        assert store.drain() == [3]
+
+    def test_drain_wakes_parked_getter_via_later_put(self, env):
+        store = Store(env)
+        store.put(1)
+        store.drain()
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append(item)
+
+        env.process(getter())
+        env.run()
+        assert got == []  # drain emptied the buffer: the getter parks
+        store.put(2)
+        env.run()
+        assert got == [2]

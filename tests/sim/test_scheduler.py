@@ -196,3 +196,91 @@ def test_events_processed_counter(env):
     env.run()
     # 3 timeouts (no process-bookkeeping events involved).
     assert env.events_processed == 3
+
+
+class TestBatchedSameTimestampDrain:
+    """run()'s batched drain of same-instant ready events must stay
+    observationally identical to the one-at-a-time heap semantics."""
+
+    def test_same_instant_storm_keeps_fifo_order(self, env):
+        order = []
+        for i in range(100):
+            e = env.event()
+            e.succeed()
+            e.callbacks.append(lambda _e, i=i: order.append(i))
+        env.run()
+        assert order == list(range(100))
+
+    def test_appends_during_drain_run_after_existing_entries(self, env):
+        order = []
+
+        def chain(e):
+            order.append("first")
+            nxt = env.event()
+            nxt.succeed()
+            nxt.callbacks.append(lambda _e: order.append("chained"))
+
+        head = env.event()
+        head.succeed()
+        head.callbacks.append(chain)
+        tail = env.event()
+        tail.succeed()
+        tail.callbacks.append(lambda _e: order.append("second"))
+        env.run()
+        assert order == ["first", "second", "chained"]
+
+    def test_urgent_interrupt_preempts_remaining_ready_entries(self, env):
+        """An interrupt raised mid-storm schedules an URGENT event on
+        the heap; the batched drain must bail out and run it before the
+        rest of the same-instant ready batch."""
+        from repro.sim import Interrupt
+
+        order = []
+
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                order.append("interrupted")
+
+        proc = env.process(victim())
+
+        def storm():
+            yield env.timeout(1)  # victim is parked by now
+            a = env.event()
+            a.succeed()
+            a.callbacks.append(
+                lambda _e: (order.append("a"), proc.interrupt())
+            )
+            b = env.event()
+            b.succeed()
+            b.callbacks.append(lambda _e: order.append("b"))
+
+        env.process(storm())
+        env.run()
+        assert order == ["a", "interrupted", "b"]
+
+    def test_batched_drain_matches_step_semantics(self, env):
+        """Same workload through run() (batched) and step() (per-event)
+        produces the same observable order."""
+
+        def workload(e, log):
+            for i in range(5):
+                ev = e.event()
+                ev.succeed()
+                ev.callbacks.append(lambda _x, i=i: log.append(("r", i)))
+            t = e.timeout(0)
+            t.callbacks.append(lambda _x: log.append(("t", e.now)))
+
+        run_log = []
+        workload(env, run_log)
+        env.run()
+
+        from repro.sim import Environment
+
+        stepped = Environment()
+        step_log = []
+        workload(stepped, step_log)
+        while stepped.peek() != float("inf"):
+            stepped.step()
+        assert run_log == step_log
