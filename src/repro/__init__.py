@@ -69,3 +69,12 @@ if os.environ.get("REPRO_SANITIZE"):
     from .analysis.sanitizer import install as _sanitizer_install
 
     _sanitizer_install()
+
+# REPRO_WAITFOR=1 arms the runtime wait-for graph (park tracking, lock
+# deadlock cycles raised at park time, tank ownership ledgers, idle
+# ownership reports); see repro.analysis.waitfor.  Independent of
+# REPRO_SANITIZE — either, both (any order), or neither.
+if os.environ.get("REPRO_WAITFOR"):
+    from .analysis.waitfor import install as _waitfor_install
+
+    _waitfor_install()

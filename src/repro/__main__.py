@@ -9,8 +9,9 @@ Gives the library a zero-setup "does it work?" entry point:
 
 Besides the demos there are four tool subcommands:
 
-* ``python -m repro lint``     — simlint static analysis (SIM001-SIM009);
-  see :mod:`repro.analysis.cli` for flags (``--fail-on-new`` etc.)
+* ``python -m repro lint``     — simlint static analysis (the rule range
+  is derived from the registry; ``--list-rules`` prints it); see
+  :mod:`repro.analysis.cli` for flags (``--fail-on-new``, ``--explain``)
 * ``python -m repro chaos``    — deterministic fault-injection scenarios
   with invariant verification; see :mod:`repro.chaos.runner` for flags
   (``--smoke``, ``--scenario``, ``--seed``, ``--json``, ``--list``)

@@ -1,0 +1,130 @@
+"""Call graph over the linted files: who can run inside whom.
+
+The wait/credit analysis (:mod:`repro.analysis.waitgraph`) is
+interprocedural: ``FreeFlowSocket.send`` holds the TX lock while
+``yield from self._send_ring(...)`` debits the credit tank, and the
+hold-and-wait edge lives across that call.  This module owns the
+(deliberately conservative) name resolution that makes such edges
+visible:
+
+* ``self.method(...)`` resolves to a method of the *same class in the
+  same module* — the only self-call form the codebase uses;
+* ``helper(...)`` (a bare name) resolves to a module-level function of
+  the same module.
+
+Anything else — ``host.cpu.execute(...)``, duck-typed callbacks,
+cross-module attribute calls — stays unresolved on purpose: a linter
+that guesses across object boundaries starts crying wolf, and the
+runtime wait-for graph (:mod:`repro.analysis.waitfor`) covers the
+dynamic composition the static side declines to guess at.
+
+Only generator functions are indexed: in this codebase every blocking
+operation is a ``yield``/``yield from`` inside a sim-process generator,
+so plain functions cannot park and cannot hold across a park.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = ["FunctionInfo", "CallGraph"]
+
+
+def _is_generator(fn: ast.FunctionDef) -> bool:
+    """True if ``fn`` yields in its own scope (nested defs excluded)."""
+    stack = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef, ast.Lambda)):
+                continue
+            stack.append(child)
+    return False
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One indexed function: where it lives and its AST."""
+
+    qualname: str           #: ``module.py::Class.method`` (stable, display)
+    name: str               #: bare function/method name
+    cls: Optional[str]      #: enclosing class name, or None
+    module: str             #: display path of the defining file
+    node: ast.FunctionDef
+    is_generator: bool
+
+    @property
+    def scope(self) -> str:
+        """Key prefix for resources local to this function."""
+        return self.cls or self.name
+
+
+class CallGraph:
+    """Index of functions plus the two resolution tables."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: (module, class, method name) -> qualname
+        self._methods: Dict[Tuple[str, str, str], str] = {}
+        #: (module, function name) -> qualname
+        self._module_funcs: Dict[Tuple[str, str], str] = {}
+
+    @classmethod
+    def build(cls, modules: Iterable[Tuple[str, ast.Module]]) -> "CallGraph":
+        """Index top-level functions and one level of class methods."""
+        graph = cls()
+        for module, tree in modules:
+            for node in tree.body:
+                if isinstance(node, ast.FunctionDef):
+                    graph._add(module, None, node)
+                elif isinstance(node, ast.ClassDef):
+                    for item in node.body:
+                        if isinstance(item, ast.FunctionDef):
+                            graph._add(module, node.name, item)
+        return graph
+
+    def _add(self, module: str, cls_name: Optional[str],
+             node: ast.FunctionDef) -> None:
+        scope = f"{cls_name}.{node.name}" if cls_name else node.name
+        qualname = f"{module}::{scope}"
+        info = FunctionInfo(
+            qualname=qualname,
+            name=node.name,
+            cls=cls_name,
+            module=module,
+            node=node,
+            is_generator=_is_generator(node),
+        )
+        self.functions[qualname] = info
+        if cls_name is None:
+            self._module_funcs[(module, node.name)] = qualname
+        else:
+            self._methods[(module, cls_name, node.name)] = qualname
+
+    def resolve(self, caller: FunctionInfo,
+                call: ast.Call) -> Optional[FunctionInfo]:
+        """Resolve a call expression to an indexed function, or None."""
+        func = call.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and caller.cls is not None):
+            qualname = self._methods.get((caller.module, caller.cls,
+                                          func.attr))
+        elif isinstance(func, ast.Name):
+            qualname = self._module_funcs.get((caller.module, func.id))
+        else:
+            qualname = None
+        if qualname is None:
+            return None
+        return self.functions[qualname]
+
+    def generators(self) -> Iterable[FunctionInfo]:
+        for info in self.functions.values():
+            if info.is_generator:
+                yield info

@@ -9,6 +9,8 @@ Modes:
   set and exit 0 (run after intentionally accepting a finding);
 * ``--no-baseline`` — ignore the baseline: every finding is "new";
 * ``--list-rules`` — print the rule codes and what they check;
+* ``--explain CODE`` — print one rule's full documentation plus its
+  minimal bad/good fixture pair;
 * ``--format json`` — machine-readable output for tooling.
 
 The baseline lives at ``.simlint-baseline.json`` (current directory
@@ -23,8 +25,10 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+import inspect
+
 from . import core
-from .rules import ALL_RULES
+from .rules import ALL_RULES, RULES_BY_CODE, rule_range
 
 __all__ = ["main"]
 
@@ -54,8 +58,8 @@ def _default_baseline(explicit: Optional[str]) -> Path:
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description=("simlint: FreeFlow-repro-aware static analysis "
-                     "(rules SIM001-SIM009)"),
+        description=(f"simlint: FreeFlow-repro-aware static analysis "
+                     f"(rules {rule_range()})"),
     )
     parser.add_argument(
         "paths", nargs="*",
@@ -80,7 +84,37 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule codes and summaries, then exit")
+    parser.add_argument(
+        "--explain", metavar="CODE",
+        help="print one rule's documentation and its minimal bad/good "
+             "example, then exit")
     return parser
+
+
+def _explain(code: str) -> int:
+    rule = RULES_BY_CODE.get(code.upper())
+    if rule is None:
+        print(f"simlint: unknown rule {code!r} (known: {rule_range()})",
+              file=sys.stderr)
+        return 2
+    print(f"{rule.code} — {rule.summary}")
+    doc = inspect.getdoc(type(rule))
+    if doc:
+        print()
+        print(doc)
+    if rule.example_bad:
+        print()
+        print("Fires on:")
+        print()
+        for line in rule.example_bad.rstrip().splitlines():
+            print(f"    {line}")
+    if rule.example_good:
+        print()
+        print("Silent on:")
+        print()
+        for line in rule.example_good.rstrip().splitlines():
+            print(f"    {line}")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -90,6 +124,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for rule in ALL_RULES:
             print(f"{rule.code}  {rule.summary}")
         return 0
+
+    if args.explain:
+        return _explain(args.explain)
 
     paths = args.paths or [str(_package_dir())]
     findings = core.lint_paths(paths)

@@ -22,7 +22,7 @@ from __future__ import annotations
 import ast
 import json
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
@@ -87,9 +87,18 @@ class LintContext:
     (``repro.lane``, ``repro.socket`` …) registered or declared in
     ``telemetry/registry.py``; ``None`` disables the SIM005 cross-check
     (pattern checking still applies).
+
+    ``project`` is the whole-program wait/credit analysis
+    (:class:`~repro.analysis.waitgraph.ProjectWaitGraph`) built by
+    :func:`lint_paths` — SIM010 cycles can span files, so the graph must
+    see every linted module at once.  When it is absent (bare
+    :func:`lint_source` calls, e.g. the test fixtures), the wait rules
+    fall back to a per-tree analysis memoized in ``single_cache``.
     """
 
     known_families: Optional[set] = None
+    project: Optional[object] = None
+    single_cache: dict = field(default_factory=dict)
 
 
 class Suppressions:
@@ -227,11 +236,29 @@ def lint_paths(
     files = collect_files(paths)
     if known_families is None:
         known_families = _registry_families(files)
-    ctx = LintContext(known_families=known_families)
+    ctx = LintContext(known_families=known_families,
+                      project=_project_waitgraph(files))
     findings: list[Finding] = []
     for path in files:
         findings.extend(lint_source(path.read_text(), path, rules, ctx))
     return findings
+
+
+def _project_waitgraph(files: Sequence[Path]):
+    """Whole-program wait/credit analysis over the collected files.
+
+    Files that fail to read or parse are simply left out — the per-file
+    pass reports their syntax error as SIM000 anyway.
+    """
+    from .waitgraph import analyze_modules
+
+    modules = []
+    for path in files:
+        try:
+            modules.append((display_path(path), ast.parse(path.read_text())))
+        except (OSError, SyntaxError):
+            continue
+    return analyze_modules(modules)
 
 
 # -- baseline ---------------------------------------------------------------

@@ -1,4 +1,7 @@
-"""simlint rules SIM001–SIM009: FreeFlow-repro-specific invariants.
+"""simlint rules: FreeFlow-repro-specific invariants.
+
+The advertised range is never hardcoded — :func:`rule_range` derives it
+from the registry (:data:`ALL_RULES`), currently SIM001–SIM012.
 
 Each rule is a small AST pass.  They are deliberately narrow — tuned to
 how *this* codebase expresses the pattern — because a repo-specific
@@ -30,7 +33,15 @@ Rule index:
   ``CompletionQueue.wait_batch()`` so one wake applies a burst;
 * **SIM009** unbounded accumulation — a telemetry/monitor dict keyed by
   runtime values (flow labels, host names) that is never pruned; a
-  monitor must cost O(1) memory, so evict, bound, or sketch it.
+  monitor must cost O(1) memory, so evict, bound, or sketch it;
+* **SIM010** wait-cycle — two paths acquire/wait on the same pair of
+  blocking resources in opposite order (interprocedural, via
+  :mod:`repro.analysis.waitgraph`);
+* **SIM011** unsafe hold — a blocking wait while holding a bare
+  (non-context-manager) resource request with no exception-safe
+  release;
+* **SIM012** debit/credit imbalance — a Tank debit reachable from a
+  path that can raise or return without the matching credit.
 """
 
 from __future__ import annotations
@@ -45,6 +56,7 @@ __all__ = [
     "Rule",
     "ALL_RULES",
     "RULES_BY_CODE",
+    "rule_range",
     "DeterminismRule",
     "LostEventRule",
     "YieldAtomicityRule",
@@ -54,14 +66,31 @@ __all__ = [
     "BareAssertRule",
     "PerMessageCqWaitRule",
     "UnboundedAccumulationRule",
+    "WaitCycleRule",
+    "UnsafeHoldRule",
+    "CreditImbalanceRule",
 ]
 
 
 class Rule:
-    """Base class: one code, one summary, one AST pass."""
+    """Base class: one code, one summary, one AST pass.
+
+    Each concrete rule carries its user-facing documentation with it:
+    the class docstring explains the invariant and the fix, and
+    ``example_bad``/``example_good`` are a minimal fixture pair —
+    ``python -m repro lint --explain CODE`` prints all three, and a
+    consistency test asserts the bad example fires and the good one
+    stays silent, so the documentation can never rot.
+    """
 
     code = "SIM000"
     summary = ""
+    #: Minimal source that trips the rule / its fixed twin.
+    example_bad = ""
+    example_good = ""
+    #: Display path the examples are linted under (some rules scope by
+    #: location, e.g. SIM009 applies to telemetry modules only).
+    example_path = "repro/core/example.py"
 
     def check(
         self, tree: ast.Module, path: str, lines: list, ctx: LintContext
@@ -111,9 +140,27 @@ def _is_generator(fn: ast.FunctionDef) -> bool:
 
 
 class DeterminismRule(Rule):
+    """Simulation code must be a pure function of the seed: the wall
+    clock (``time.time``, ``datetime.now``) and unseeded randomness
+    (the ``random``/``secrets`` modules, ``os.urandom``) make runs
+    unreproducible and break the byte-identical-report CI gates.  Use
+    ``env.now`` for time and a named
+    :class:`~repro.sim.rand.RandomStream` for randomness."""
+
     code = "SIM001"
     summary = ("no wall clock / unseeded randomness in simulation code; "
                "use repro.sim.rand.RandomStream")
+
+    example_bad = """\
+import time
+
+def stamp():
+    return time.time()
+"""
+    example_good = """\
+def stamp(env, stream):
+    return env.now + stream.uniform(0.0, 1e-6)
+"""
 
     #: Modules whose import alone is a violation: all their useful entry
     #: points are nondeterministic from the simulation's point of view.
@@ -211,9 +258,25 @@ class DeterminismRule(Rule):
 
 
 class LostEventRule(Rule):
+    """An ``env.timeout()``/``store.get()``-style call in a sim-process
+    generator returns an *event* — discarding it either creates an
+    event nobody can wait on, or worse (``.get``) consumes an item that
+    is then dropped on the floor.  Yield it, store it, or return it."""
+
     code = "SIM002"
     summary = ("event/store operation created in a generator but neither "
                "yielded, stored, nor returned")
+
+    example_bad = """\
+def worker(env):
+    env.timeout(1e-6)
+    yield env.timeout(1e-6)
+"""
+    example_good = """\
+def worker(env):
+    yield env.timeout(1e-6)
+    yield env.timeout(1e-6)
+"""
 
     #: Methods whose return value *is* the claim: discarding it either
     #: leaks an event nobody can wait on, or worse (``.get``) consumes an
@@ -255,9 +318,29 @@ class LostEventRule(Rule):
 
 
 class YieldAtomicityRule(Rule):
+    """A ``yield`` parks the process: any other process may run and
+    mutate shared state before it resumes.  Reading ``self.x`` into a
+    local, yielding, then writing the stale local back loses every
+    concurrent update.  Re-read after resuming (or do the whole
+    read-modify-write on one side of the yield)."""
+
     code = "SIM003"
     summary = ("read-modify-write of self.* spanning a yield — re-read "
                "after resuming")
+
+    example_bad = """\
+class Counter:
+    def bump(self, env):
+        count = self.pending
+        yield env.timeout(1e-6)
+        self.pending = count + 1
+"""
+    example_good = """\
+class Counter:
+    def bump(self, env):
+        yield env.timeout(1e-6)
+        self.pending = self.pending + 1
+"""
 
     def check(self, tree, path, lines, ctx):
         out: list[Finding] = []
@@ -375,9 +458,34 @@ class _AtomicityScan:
 
 
 class UnboundedGrowthRule(Rule):
+    """A list initialized in ``__init__`` and appended to on the hot
+    path, with no ``pop``/``clear``/``remove`` anywhere in the class,
+    grows for the lifetime of the object — at datacenter scale that is
+    an OOM with a delay timer.  Cap it, prune on a schedule, or use a
+    bounded deque."""
+
     code = "SIM004"
     summary = ("append onto a long-lived list that is never pruned — "
                "cap it or prune it")
+
+    example_bad = """\
+class Log:
+    def __init__(self):
+        self.entries = []
+
+    def add(self, item):
+        self.entries.append(item)
+"""
+    example_good = """\
+class Log:
+    def __init__(self):
+        self.entries = []
+
+    def add(self, item):
+        self.entries.append(item)
+        if len(self.entries) > 64:
+            self.entries.pop(0)
+"""
 
     GROW = {"append", "extend", "appendleft"}
     PRUNE = {"pop", "popleft", "clear", "remove"}
@@ -508,9 +616,28 @@ class UnboundedGrowthRule(Rule):
 
 
 class TelemetryNamingRule(Rule):
+    """Metric name literals must match ``repro.[a-z0-9_.]+`` and (when
+    the registry module is in view) belong to a known family; event
+    kinds must be lowercase dotted names.  One naming scheme keeps
+    dashboards greppable and lets the registry reject typos at
+    run time instead of silently creating a parallel series."""
+
     code = "SIM005"
     summary = ("metric names must match repro.[a-z0-9_.]+ in a registered "
                "family; event kinds must be lowercase dotted names")
+
+    example_bad = """\
+from repro.telemetry.registry import counter_inc
+
+def account():
+    counter_inc("Socket.Sends")
+"""
+    example_good = """\
+from repro.telemetry.registry import counter_inc
+
+def account():
+    counter_inc("repro.socket.sends")
+"""
 
     METRIC_CALLS = {"counter_inc", "histogram_observe",
                     "counter", "gauge", "histogram"}
@@ -602,9 +729,23 @@ class TelemetryNamingRule(Rule):
 
 
 class FlowStateOwnershipRule(Rule):
+    """The flow lifecycle state machine lives in ``core/flows.py``;
+    assigning ``.state`` on a flow/connection anywhere else bypasses
+    the transition table, its legality checks, and the telemetry
+    events it emits.  Call ``FlowTable.transition()`` instead."""
+
     code = "SIM006"
     summary = ("flow .state is assigned only inside core/flows.py — "
                "use FlowTable.transition()")
+
+    example_bad = """\
+def force_active(flow, state):
+    flow.state = state
+"""
+    example_good = """\
+def force_active(table, flow, state):
+    table.transition(flow, state)
+"""
 
     OWNER_SUFFIX = "core/flows.py"
     FLOWISH = re.compile(r"^(flow|conn)", re.IGNORECASE)
@@ -655,9 +796,26 @@ class FlowStateOwnershipRule(Rule):
 
 
 class BareAssertRule(Rule):
+    """``assert`` statements are compiled away under ``python -O``, so
+    a library invariant guarded by one silently stops being checked in
+    optimized runs.  Raise a typed error from :mod:`repro.errors`
+    (tests are exempt — pytest rewrites their asserts)."""
+
     code = "SIM007"
     summary = ("bare assert vanishes under python -O — raise a typed "
                "error from repro.errors")
+
+    example_bad = """\
+def reserve(nbytes):
+    assert nbytes > 0
+    return nbytes
+"""
+    example_good = """\
+def reserve(nbytes):
+    if nbytes <= 0:
+        raise ValueError(f"nbytes must be positive, got {nbytes}")
+    return nbytes
+"""
 
     def check(self, tree, path, lines, ctx):
         if _in_tests(path):
@@ -679,9 +837,31 @@ class BareAssertRule(Rule):
 
 
 class PerMessageCqWaitRule(Rule):
+    """``cq.wait()`` inside a loop wakes the scheduler once per
+    completion — the exact per-message overhead the streaming socket
+    path exists to amortize (PR 6 measured 3.9–6.8x from batching).
+    Drain with ``CompletionQueue.wait_batch()`` so one wake applies a
+    burst."""
+
     code = "SIM008"
     summary = ("cq.wait() inside a loop is one scheduler wake per "
                "message — drain with wait_batch()")
+
+    example_bad = """\
+class Dispatcher:
+    def run(self):
+        while True:
+            wc = yield from self.recv_cq.wait()
+            self.apply(wc)
+"""
+    example_good = """\
+class Dispatcher:
+    def run(self):
+        while True:
+            wcs = yield from self.recv_cq.wait_batch()
+            for wc in wcs:
+                self.apply(wc)
+"""
 
     @staticmethod
     def _receiver_name(node: ast.AST) -> Optional[str]:
@@ -725,10 +905,36 @@ class PerMessageCqWaitRule(Rule):
 
 
 class UnboundedAccumulationRule(Rule):
+    """Observability code sees every flow, host and event; a dict keyed
+    by runtime values (flow labels, host names) that is never pruned
+    makes the monitor's memory proportional to everything it ever
+    watched.  A monitor must cost O(1): evict, bound, or use a sketch
+    (:class:`~repro.telemetry.sketches.SpaceSaving`)."""
+
     code = "SIM009"
     summary = ("telemetry/monitor dict keyed by runtime values and never "
                "pruned — a monitor must cost O(1) memory; evict, bound, "
                "or sketch it")
+    example_path = "repro/telemetry/example.py"
+
+    example_bad = """\
+class Monitor:
+    def __init__(self):
+        self.seen = {}
+
+    def record(self, flow, nbytes):
+        self.seen[flow] = nbytes
+"""
+    example_good = """\
+class Monitor:
+    def __init__(self):
+        self.seen = {}
+
+    def record(self, flow, nbytes):
+        self.seen[flow] = nbytes
+        while len(self.seen) > 64:
+            self.seen.pop(next(iter(self.seen)))
+"""
 
     #: Where the rule applies: observability code, which by design sees
     #: every flow/host/event and therefore must not grow per key it
@@ -820,6 +1026,184 @@ class UnboundedAccumulationRule(Rule):
                     f"(telemetry.sketches.SpaceSaving)", lines))
 
 
+# ---------------------------------------------------------------------------
+# SIM010–SIM012 — interprocedural wait/credit analysis
+# ---------------------------------------------------------------------------
+#
+# The heavy lifting lives in analysis/waitgraph.py (shared resource
+# vocabulary with the runtime wait-for graph); these rule classes are
+# thin adapters that surface its per-file findings through the normal
+# pragma/baseline machinery.
+
+
+def _project_for(tree: ast.Module, path: str, ctx: LintContext):
+    """The whole-program wait analysis, or a single-file fallback.
+
+    ``lint_paths`` pre-builds one :class:`~repro.analysis.waitgraph.
+    ProjectWaitGraph` over every collected file (cross-file cycles need
+    the global edge set); ``lint_source`` callers without one get a
+    single-module analysis, memoized on the context so the three rules
+    share one pass per tree.
+    """
+    project = getattr(ctx, "project", None)
+    if project is not None and project.covers(path):
+        return project
+    cache = ctx.single_cache
+    key = id(tree)
+    if key not in cache:
+        from . import waitgraph
+        cache[key] = waitgraph.analyze_modules([(path, tree)])
+    return cache[key]
+
+
+class _WaitGraphRule(Rule):
+    """Shared check(): pull this rule's findings out of the analysis."""
+
+    def check(self, tree, path, lines, ctx) -> list:
+        if _in_tests(path):
+            return []
+        project = _project_for(tree, path, ctx)
+        out = []
+        for line, col, message in project.findings_for(self.code, path):
+            snippet = (lines[line - 1].strip()
+                       if 0 < line <= len(lines) else "")
+            out.append(Finding(self.code, path, line, col, message, snippet))
+        return out
+
+
+class WaitCycleRule(_WaitGraphRule):
+    """Two code paths acquire the same pair of blocking resources in
+    opposite order (or re-enter a non-reentrant FIFO lock): schedule the
+    two paths concurrently and each parks holding what the other needs.
+    Every blocking acquisition of a holdable resource (lock request,
+    tank debit) while another is held contributes a directed edge to a
+    project-wide graph — including across ``yield from self.helper()``
+    calls — and any cycle is reported at every participating site.
+    The fix is a global acquisition order (the streaming socket path
+    documents one: send lock before credit tank, never the reverse)."""
+
+    code = "SIM010"
+    summary = ("hold-and-wait cycle: resources acquired in opposite "
+               "order on two paths can deadlock")
+
+    example_bad = """\
+class Peer:
+    def __init__(self, env):
+        self._tx_lock = Resource(env, capacity=1)
+        self._credits = Tank(env, capacity=64, initial=64)
+
+    def drain(self):
+        with self._tx_lock.request() as claim:
+            yield claim
+            yield self._credits.get(1)
+            self._staged += 1
+
+    def refill(self):
+        yield self._credits.get(64)
+        with self._tx_lock.request() as claim:
+            yield claim
+            yield self._credits.put(64)
+"""
+    example_good = """\
+class Peer:
+    def __init__(self, env):
+        self._tx_lock = Resource(env, capacity=1)
+        self._credits = Tank(env, capacity=64, initial=64)
+
+    def drain(self):
+        with self._tx_lock.request() as claim:
+            yield claim
+            yield self._credits.get(1)
+            self._staged += 1
+
+    def refill(self):
+        with self._tx_lock.request() as claim:
+            yield claim
+            yield self._credits.get(64)
+            yield self._credits.put(64)
+"""
+
+
+class UnsafeHoldRule(_WaitGraphRule):
+    """A lock acquired outside any ``with`` block (bare ``req =
+    r.request()`` … ``yield req``) is still held at a later park, raise,
+    or function end with no ``try/finally``-protected release.  If the
+    parked process is interrupted or the wait raises, the slot leaks and
+    every later requester blocks forever.  Use the context-manager form
+    (``with r.request() as claim: yield claim``) — its ``__exit__``
+    releases on every path — or release in a ``finally``."""
+
+    code = "SIM011"
+    summary = ("blocking wait while holding a bare (non-context-manager) "
+               "resource request with no exception-safe release")
+
+    example_bad = """\
+class Pump:
+    def __init__(self, env):
+        self._lock = Resource(env, capacity=1)
+        self._inbox = Store(env)
+
+    def pump(self):
+        req = self._lock.request()
+        yield req
+        item = yield self._inbox.get()
+        self._lock.release(req)
+        return item
+"""
+    example_good = """\
+class Pump:
+    def __init__(self, env):
+        self._lock = Resource(env, capacity=1)
+        self._inbox = Store(env)
+
+    def pump(self):
+        with self._lock.request() as claim:
+            yield claim
+            item = yield self._inbox.get()
+        return item
+"""
+
+
+class CreditImbalanceRule(_WaitGraphRule):
+    """A tank debit (credits drawn from a credit tank, or bytes reserved
+    in a bounded window tank) reaches a park, ``raise`` or ``return``
+    before the debited amount is credited back, banked into object state
+    (attribute assignment, or an ``append``/``put``/``submit`` call on
+    ``self``), or protected by a ``try/finally`` that repays it.  An
+    exception on that path leaks the bytes: the tank level never
+    recovers and the flow-control window shrinks permanently — the
+    exact bug class the sockets credit-protocol comments argue away.
+    Debits that are deliberately repaid by the *peer* process (ring
+    hand-offs) should carry a pragma naming who repays."""
+
+    code = "SIM012"
+    summary = ("tank debit can raise/return/park with no matching credit "
+               "banked — leaked bytes shrink the window forever")
+
+    example_bad = """\
+class Sender:
+    def __init__(self, env):
+        self._credits = Tank(env, capacity=64, initial=64)
+        self._wire = Store(env)
+
+    def send(self, env, nbytes):
+        yield self._credits.get(nbytes)
+        yield env.timeout(1e-6)
+        self._wire.put(nbytes)
+"""
+    example_good = """\
+class Sender:
+    def __init__(self, env):
+        self._credits = Tank(env, capacity=64, initial=64)
+        self._wire = Store(env)
+
+    def send(self, env, nbytes):
+        yield self._credits.get(nbytes)
+        self._wire.put(nbytes)
+        yield env.timeout(1e-6)
+"""
+
+
 ALL_RULES = (
     DeterminismRule(),
     LostEventRule(),
@@ -830,6 +1214,17 @@ ALL_RULES = (
     BareAssertRule(),
     PerMessageCqWaitRule(),
     UnboundedAccumulationRule(),
+    WaitCycleRule(),
+    UnsafeHoldRule(),
+    CreditImbalanceRule(),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
+
+
+def rule_range() -> str:
+    """Advertised code range (``SIM001-SIM012``), derived from the
+    registry so user-facing strings can never drift from the rules that
+    actually run."""
+    codes = sorted(RULES_BY_CODE)
+    return f"{codes[0]}-{codes[-1]}"

@@ -1,0 +1,476 @@
+"""Runtime wait-for graph: who is parked on what, and who can fire it.
+
+The static pass (:mod:`repro.analysis.waitgraph`) proves properties of
+the *source*; this module watches the *running* engine — armed by
+``REPRO_WAITFOR=1`` or :func:`install`.  It hooks the three resource
+families (:class:`~repro.sim.resources.Resource`,
+:class:`~repro.sim.resources.Store`, :class:`~repro.sim.resources.Tank`)
+plus :meth:`Environment.run <repro.sim.scheduler.Environment.run>`:
+
+* **Park tracking** — every blocking ``request()``/``get()``/``put()``
+  issued from inside a process records a wait edge ``process →
+  resource`` (fast-path operations that complete on the spot cost one
+  dict probe and no edge).
+* **Lock cycle check at park time** — when a process blocks on a
+  :class:`Resource` slot, the holders of that slot are chased through
+  their own lock waits; a ring back to the parking process raises
+  :class:`~repro.errors.DeadlockDetected` *at the park site*, naming
+  every process and resource in the cycle.  Only pure-lock cycles
+  raise: a slot can never be released by anyone outside the ring.
+  Tank/store waits are backpressure — a third party can always put or
+  get — so they never raise, but they do appear in the reports.
+* **Ownership ledgers** — each :class:`Tank` carries a signed FIFO
+  ledger of outstanding amounts: net successful ``put`` entries mean
+  those processes hold ring/window occupancy, net successful ``get``
+  entries mean they hold credit.  The inverse operation repays the
+  ledger head first (the FIFO matches the tank's own grant order), so
+  at any instant the ledger names exactly who owes the bytes a parked
+  peer is waiting for.
+* **Idle report instead of a silent hang** — when ``run()`` returns
+  with the event queues drained while processes are still parked, the
+  full ownership chain (who waits on what, who holds it, how much) is
+  snapshotted; :func:`idle_report` returns it.  A live snapshot is
+  available any time via :func:`report` — the chaos harness uses it to
+  assert that a stalled credit's owner is named while the stall is in
+  progress.
+
+Resources accept a ``label=`` at construction; unlabeled ones get a
+deterministic ``<type>#<n>`` name in first-seen order (never ``id()``/
+hex, so reports are byte-stable across runs).  Processes are named from
+their generator's qualname, with a ``#n`` suffix for repeats.
+
+Composes with the sanitizer and the profiler in any order: ``install``
+saves whatever methods it finds and ``uninstall`` restores exactly
+those, so instrumentation must be removed LIFO (the same contract the
+other two follow).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from ..errors import DeadlockDetected
+
+__all__ = [
+    "install",
+    "uninstall",
+    "installed",
+    "stats",
+    "reset_stats",
+    "report",
+    "idle_report",
+]
+
+#: Sweep threshold for the request→owner map (see _sweep_request_owners).
+_OWNER_SWEEP_AT = 4096
+
+
+class _State:
+    """Saved originals + live wait-for graph while installed."""
+
+    def __init__(self) -> None:
+        self.orig_request = None
+        self.orig_store_get = None
+        self.orig_tank_get = None
+        self.orig_tank_put = None
+        self.orig_run = None
+        #: process -> (event, resource, kind, amount) for its live wait.
+        self.waits: dict = {}
+        #: Request -> owning process (granted or queued).
+        self.request_owner: dict = {}
+        #: Tank -> [sign, deque[(process, amount)]].  sign +1: the
+        #: entries hold occupancy (net puts); sign -1: they hold credit
+        #: (net gets); 0: settled.
+        self.ledgers: dict = {}
+        self.labels: dict = {}
+        self.label_counts: dict = {}
+        self.proc_names: dict = {}
+        self.name_counts: dict = {}
+        self.checks: dict = {}
+        self.violations = 0
+        self.last_idle: Optional[dict] = None
+
+
+_state: Optional[_State] = None
+
+
+def installed() -> bool:
+    return _state is not None
+
+
+def stats() -> dict:
+    """Counters: parks recorded, cycle checks run, violations raised."""
+    if _state is None:
+        return {"installed": False}
+    return {
+        "installed": True,
+        "violations": _state.violations,
+        **dict(sorted(_state.checks.items())),
+    }
+
+
+def reset_stats() -> None:
+    """Drop all accumulated state (counters, waits, ledgers, names).
+
+    Call between independent simulation runs under one install — stale
+    waits from a finished environment would otherwise bleed into the
+    next run's reports.
+    """
+    if _state is not None:
+        _state.checks.clear()
+        _state.violations = 0
+        _state.last_idle = None
+        _state.waits.clear()
+        _state.request_owner.clear()
+        _state.ledgers.clear()
+        _state.labels.clear()
+        _state.label_counts.clear()
+        _state.proc_names.clear()
+        _state.name_counts.clear()
+
+
+def _bump(key: str) -> None:
+    state = _state
+    if state is not None:
+        state.checks[key] = state.checks.get(key, 0) + 1
+
+
+# -- naming ------------------------------------------------------------------
+
+
+def _label(state: _State, resource) -> str:
+    explicit = getattr(resource, "label", None)
+    if explicit:
+        return explicit
+    name = state.labels.get(resource)
+    if name is None:
+        base = type(resource).__name__.lower()
+        n = state.label_counts.get(base, 0) + 1
+        state.label_counts[base] = n
+        name = f"{base}#{n}"
+        state.labels[resource] = name
+    return name
+
+
+def _proc_name(state: _State, proc) -> str:
+    if proc is None:
+        return "external"
+    name = state.proc_names.get(proc)
+    if name is None:
+        gen = proc._generator
+        code = getattr(gen, "gi_code", None)
+        base = (getattr(code, "co_qualname", None)
+                or getattr(gen, "__name__", None) or "process")
+        # Qualnames of nested generators carry an `outer.<locals>.`
+        # prefix that only adds noise to reports; keep the leaf name
+        # (collisions are disambiguated by the #n suffix below).
+        base = base.rpartition(".")[2]
+        n = state.name_counts.get(base, 0) + 1
+        state.name_counts[base] = n
+        name = base if n == 1 else f"{base}#{n}"
+        state.proc_names[proc] = name
+    return name
+
+
+# -- wait records ------------------------------------------------------------
+
+
+def _record_wait(state, proc, event, resource, kind, amount) -> None:
+    record = (event, resource, kind, amount)
+    state.waits[proc] = record
+    _bump("parks")
+
+    def _purge(_event, state=state, proc=proc, record=record):
+        if state.waits.get(proc) is record:
+            del state.waits[proc]
+
+    event._add_callback(_purge)
+
+
+def _wait_live(wait) -> bool:
+    """Is this wait still pending?  (Abandoned waits leave no trace on
+    the event, so validity is checked against the resource's queue.)"""
+    event, resource, kind, _amount = wait
+    if event.triggered:
+        return False
+    if kind == "lock":
+        return event in resource.queue
+    if kind == "store-get":
+        return event in resource._get_queue
+    if kind == "tank-get":
+        return event in resource._gets
+    return event in resource._puts  # tank-put
+
+
+def _live_wait(state, proc):
+    """The process's wait record, lazily purging stale entries."""
+    wait = state.waits.get(proc)
+    if wait is None:
+        return None
+    if not _wait_live(wait):
+        del state.waits[proc]
+        return None
+    return wait
+
+
+# -- tank ledgers ------------------------------------------------------------
+
+
+def _tank_account(state, tank, proc, amount, sign) -> None:
+    """Fold one successful get (sign -1) / put (sign +1) into the ledger.
+
+    An op of the opposite sign repays the FIFO head first; any leftover
+    flips the ledger's sign.  Amounts of zero settle nothing and are
+    dropped.
+    """
+    _bump("tank_ops")
+    if amount <= 0:
+        return
+    entry = state.ledgers.get(tank)
+    if entry is None:
+        entry = state.ledgers[tank] = [0, deque()]
+    entries = entry[1]
+    remaining = amount
+    if entry[0] == -sign:
+        while remaining and entries:
+            holder, held = entries[0]
+            if held > remaining:
+                entries[0] = (holder, held - remaining)
+                remaining = 0
+            else:
+                entries.popleft()
+                remaining -= held
+        if not entries:
+            entry[0] = 0
+    if remaining:
+        entries.append((proc, remaining))
+        entry[0] = sign
+
+
+def _tank_holders(state, tank) -> list:
+    entry = state.ledgers.get(tank)
+    if entry is None or not entry[1]:
+        return []
+    holds = "occupancy" if entry[0] > 0 else "credit"
+    return [
+        {"process": _proc_name(state, holder), "holds": holds,
+         "amount": held}
+        for holder, held in entry[1]
+    ]
+
+
+# -- lock cycle check --------------------------------------------------------
+
+
+def _lock_holders(state, resource) -> list:
+    out = []
+    for request in resource.users:
+        owner = state.request_owner.get(request)
+        if owner is not None:
+            out.append(owner)
+    return out
+
+
+def _sweep_request_owners(state) -> None:
+    state.request_owner = {
+        request: owner
+        for request, owner in state.request_owner.items()
+        if request in request.resource.users
+        or request in request.resource.queue
+    }
+
+
+def _lock_cycle_check(state, proc, resource) -> None:
+    """DFS the holder chain from ``resource``; a path of lock waits
+    leading back to ``proc`` is an unbreakable ring — raise."""
+    _bump("lock_checks")
+
+    def _walk(waiter, res, path, seen):
+        for holder in _lock_holders(state, res):
+            step = (waiter, res, holder)
+            if holder is proc:
+                _raise_deadlock(state, path + [step])
+            if holder in seen:
+                continue
+            wait = _live_wait(state, holder)
+            if wait is None or wait[2] != "lock":
+                continue
+            _walk(holder, wait[1], path + [step], seen | {holder})
+
+    _walk(proc, resource, [], {proc})
+
+
+def _raise_deadlock(state, steps) -> None:
+    state.violations += 1
+    parts = [
+        f"{_proc_name(state, waiter)} waits on {_label(state, res)} "
+        f"held by {_proc_name(state, holder)}"
+        for waiter, res, holder in steps
+    ]
+    raise DeadlockDetected(
+        "lock wait-for cycle (no process in the ring can ever release): "
+        + "; ".join(parts)
+    )
+
+
+# -- traced resource operations ----------------------------------------------
+
+
+def _traced_request(self, priority: int = 0):
+    state = _state
+    request = state.orig_request(self, priority)
+    proc = self.env._active_process
+    if proc is not None:
+        state.request_owner[request] = proc
+        if len(state.request_owner) > _OWNER_SWEEP_AT:
+            _sweep_request_owners(state)
+        if not request.triggered:
+            _record_wait(state, proc, request, self, "lock", None)
+            _lock_cycle_check(state, proc, self)
+    return request
+
+
+def _traced_store_get(self, predicate=None):
+    state = _state
+    event = state.orig_store_get(self, predicate)
+    if not event.triggered:
+        proc = self.env._active_process
+        if proc is not None:
+            _record_wait(state, proc, event, self, "store-get", None)
+    return event
+
+
+def _traced_tank_get(self, amount):
+    state = _state
+    event = state.orig_tank_get(self, amount)
+    proc = self.env._active_process
+    if event.triggered:
+        _tank_account(state, self, proc, amount, -1)
+    else:
+        if proc is not None:
+            _record_wait(state, proc, event, self, "tank-get", amount)
+
+        def _granted(_event, state=state, tank=self, proc=proc,
+                     amount=amount):
+            _tank_account(state, tank, proc, amount, -1)
+
+        event._add_callback(_granted)
+    return event
+
+
+def _traced_tank_put(self, amount):
+    state = _state
+    event = state.orig_tank_put(self, amount)
+    proc = self.env._active_process
+    if event.triggered:
+        _tank_account(state, self, proc, amount, +1)
+    else:
+        if proc is not None:
+            _record_wait(state, proc, event, self, "tank-put", amount)
+
+        def _granted(_event, state=state, tank=self, proc=proc,
+                     amount=amount):
+            _tank_account(state, tank, proc, amount, +1)
+
+        event._add_callback(_granted)
+    return event
+
+
+# -- reports -----------------------------------------------------------------
+
+
+def report() -> dict:
+    """Live snapshot: every parked process, what it waits on, and the
+    ownership chain that could fire it."""
+    state = _state
+    if state is None:
+        return {"installed": False}
+    parked = []
+    for proc in list(state.waits):
+        wait = _live_wait(state, proc)
+        if wait is None:
+            continue
+        _event, resource, kind, amount = wait
+        if kind == "lock":
+            holders = [
+                {"process": _proc_name(state, owner), "holds": "slot",
+                 "amount": None}
+                for owner in _lock_holders(state, resource)
+            ]
+        elif kind in ("tank-get", "tank-put"):
+            holders = _tank_holders(state, resource)
+        else:
+            holders = []
+        parked.append({
+            "process": _proc_name(state, proc),
+            "waits_on": _label(state, resource),
+            "kind": kind,
+            "amount": amount,
+            "holders": holders,
+        })
+    parked.sort(key=lambda entry: (entry["process"], entry["waits_on"]))
+    return {"installed": True, "parked": parked}
+
+
+def idle_report() -> Optional[dict]:
+    """The ownership chain captured the last time the engine drained its
+    queues with processes still parked (None if that never happened)."""
+    if _state is None:
+        return None
+    return _state.last_idle
+
+
+def _traced_run(self, until=None):
+    state = _state
+    result = state.orig_run(self, until)
+    # Only a genuine drain counts as "idle": run(until=<time>) returning
+    # at its time bound leaves future events queued.
+    if not (self._ready or self._tail or self._queue):
+        snapshot = report()
+        if snapshot.get("parked"):
+            state.last_idle = snapshot
+            _bump("idle_reports")
+    return result
+
+
+# -- install / uninstall -----------------------------------------------------
+
+
+def install() -> None:
+    """Arm the wait-for graph (idempotent)."""
+    global _state
+    if _state is not None:
+        return
+    from ..sim.resources import Resource, Store, Tank
+    from ..sim.scheduler import Environment
+
+    state = _State()
+    state.orig_request = Resource.request
+    state.orig_store_get = Store.get
+    state.orig_tank_get = Tank.get
+    state.orig_tank_put = Tank.put
+    state.orig_run = Environment.run
+    _state = state
+
+    Resource.request = _traced_request
+    Store.get = _traced_store_get
+    Tank.get = _traced_tank_get
+    Tank.put = _traced_tank_put
+    Environment.run = _traced_run
+
+
+def uninstall() -> None:
+    """Restore the untraced resource operations (idempotent)."""
+    global _state
+    if _state is None:
+        return
+    from ..sim.resources import Resource, Store, Tank
+    from ..sim.scheduler import Environment
+
+    Resource.request = _state.orig_request
+    Store.get = _state.orig_store_get
+    Tank.get = _state.orig_tank_get
+    Tank.put = _state.orig_tank_put
+    Environment.run = _state.orig_run
+    _state = None

@@ -39,6 +39,7 @@ __all__ = [
     "NicInjector",
     "HostInjector",
     "FaultyKVStore",
+    "CreditStaller",
 ]
 
 
@@ -378,3 +379,65 @@ class FaultyKVStore:
                 yield env.timeout(delay)
             self.delivered += 1
             self._orig_notify(event)
+
+
+class CreditStaller:
+    """Withhold a streaming receiver's credit-return WRITEs.
+
+    Hooks one socket's ``_return_credits`` (an instance-attribute
+    override — the class stays untouched, so every other socket keeps
+    flowing).  While stalled, consumed ring bytes are *not* advertised
+    back: the sender's credit tank drains to zero and its next ``send``
+    parks on ``tx-credits`` — the exact hang the runtime wait-for graph
+    (:mod:`repro.analysis.waitfor`) exists to explain.  ``heal()`` lifts
+    the stall and :meth:`flush` (a generator — run it from a timeline
+    step or a process) pushes the batched credit update the receiver
+    itself may never send again, because *it* is idle while the sender
+    is parked.
+    """
+
+    def __init__(self, sock) -> None:
+        self.sock = sock
+        self.stalled = False
+        #: Credit-return attempts swallowed while stalled.
+        self.withheld = 0
+        self._orig = None
+
+    @property
+    def installed(self) -> bool:
+        return self._orig is not None
+
+    def install(self) -> "CreditStaller":
+        if self.installed:
+            return self
+        self._orig = self.sock._return_credits
+        staller = self
+
+        def _stalled_return_credits():
+            if not staller.stalled:
+                yield from staller._orig()
+                return
+            if staller.sock._ring_consumed > staller.sock._credits_returned:
+                staller.withheld += 1
+                counter_inc("repro.chaos.credits_withheld")
+
+        self.sock._return_credits = _stalled_return_credits
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the socket's own credit returns (stall lifted)."""
+        if not self.installed:
+            return
+        self.stalled = False
+        del self.sock.__dict__["_return_credits"]
+        self._orig = None
+
+    def stall(self) -> None:
+        self.stalled = True
+
+    def heal(self) -> None:
+        self.stalled = False
+
+    def flush(self):
+        """Send the withheld credit update now (generator)."""
+        yield from self._orig()

@@ -22,6 +22,7 @@ import sys
 from typing import Optional
 
 from ..analysis import sanitizer as _sanitizer
+from ..analysis import waitfor as _waitfor
 from ..cluster import ClusterOrchestrator, ContainerSpec
 from ..core import FreeFlowNetwork
 from ..core.flows import FlowState
@@ -256,6 +257,12 @@ def run_scenario(scenario: Scenario, seed: int = 1) -> dict:
     armed_here = not _sanitizer.installed()
     if armed_here:
         _sanitizer.install()
+    # The wait-for graph rides along (LIFO under the sanitizer): lock
+    # cycles raise DeadlockDetected mid-run, and scenario probes can
+    # snapshot waitfor.report() to name who holds a stalled credit.
+    waitfor_here = not _waitfor.installed()
+    if waitfor_here:
+        _waitfor.install()
     try:
         with telemetry_session(sample_rate=0.0,
                                event_capacity=EVENT_CAPACITY) as handle:
@@ -283,8 +290,12 @@ def run_scenario(scenario: Scenario, seed: int = 1) -> dict:
                 if scenario.check_policy_freshness:
                     violations.extend(
                         check_policy_freshness(harness.network))
+                for probe in scenario.extra_invariants:
+                    violations.extend(probe(harness))
             transition_count = len(handle.events.of_kind("flow.transition"))
     finally:
+        if waitfor_here:
+            _waitfor.uninstall()
         if armed_here:
             _sanitizer.uninstall()
     reconciler = harness.network.reconciler

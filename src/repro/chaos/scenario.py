@@ -99,6 +99,11 @@ class Scenario:
     #: host's keepalives (``harness.hosts.silence``) to model silent
     #: death — the fleet learns via lease expiry, not an explicit call.
     host_lease_ttl_s: Optional[float] = None
+    #: Scenario-specific end-of-run probes.  Each is called with the
+    #: harness (after the standard invariants, only if the run did not
+    #: crash) and returns a list of
+    #: :class:`~repro.chaos.invariants.Violation` records.
+    extra_invariants: Tuple[Callable, ...] = ()
 
     def __post_init__(self) -> None:
         if self.hosts < 1:

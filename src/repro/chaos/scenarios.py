@@ -14,7 +14,8 @@ interval while keeping every scenario sub-second in wall time.
 
 from __future__ import annotations
 
-from .faults import FaultyKVStore, KernelPathFaults
+from .faults import CreditStaller, FaultyKVStore, KernelPathFaults
+from .invariants import Violation
 from .scenario import Placement, Scenario, Step, TrafficPair
 
 __all__ = ["SCENARIOS", "SMOKE_SCENARIO", "get"]
@@ -436,6 +437,138 @@ def _kv_watch_drop() -> Scenario:
     )
 
 
+# -- credit-stall --------------------------------------------------------------
+
+
+def _credit_stall() -> Scenario:
+    """A receiver stops returning ring credits; the wait-for graph must
+    name who holds them, and healing must conserve the stream."""
+
+    from ..core.sockets import RING_BYTES
+
+    chunk = 1024
+    total = RING_BYTES + 64 * 1024
+    state: dict = {"sent": 0, "received": 0, "snapshot": None,
+                   "stall_level": None, "staller": None}
+
+    def open_stream(harness):
+        from ..core import SocketLayer
+
+        layer = SocketLayer(harness.network, streaming=True)
+        db = harness.cluster.container("db")
+        web = harness.cluster.container("web")
+        listener = layer.listen(db, 7000)
+        env = harness.env
+
+        def server():
+            sock = yield from listener.accept()
+            state["server_sock"] = sock
+            got, _payload = yield from sock.recv_exactly(total)
+            state["received"] = got
+
+        env.process(server())
+        client = layer.socket(web)
+        yield from client.connect(db.ip, 7000)
+        state["client_sock"] = client
+        while "server_sock" not in state:
+            yield env.timeout(1e-6)
+        # Stall the receiver's credit returns before the first batch is
+        # owed: every CREDIT_IMM from here on is withheld.
+        state["staller"] = CreditStaller(state["server_sock"]).install()
+        state["staller"].stall()
+
+        def pump():
+            for _ in range(total // chunk):
+                yield from client.send(chunk)
+                state["sent"] += chunk
+            yield from client.shutdown()
+
+        env.process(pump())
+
+    def probe(harness):
+        # Mid-stall: the sender's credit tank must be exhausted and the
+        # wait-for graph must name who holds the missing credits.  Kept
+        # out of the report (checked by the extra invariant) so the
+        # report stays a pure function of (scenario, seed).
+        from ..analysis import waitfor
+
+        state["stall_level"] = state["client_sock"]._tx_credits.level
+        state["snapshot"] = waitfor.report()
+
+    def heal(harness):
+        staller = state["staller"]
+        staller.heal()
+        yield from staller.flush()
+        staller.uninstall()
+
+    def check_stall_was_observed(harness) -> list:
+        problems = []
+        if state["sent"] != total or state["received"] != total:
+            problems.append(Violation(
+                "credit-stall.conservation",
+                f"stream not conserved: sent {state['sent']} received "
+                f"{state['received']} of {total} byte(s)",
+            ))
+        staller = state["staller"]
+        if staller is None or staller.withheld < 1:
+            problems.append(Violation(
+                "credit-stall.fault-armed",
+                "the staller never withheld a credit return — the "
+                "scenario exercised nothing",
+            ))
+        if state["stall_level"] != 0:
+            problems.append(Violation(
+                "credit-stall.exhaustion",
+                f"sender credit tank at {state['stall_level']!r} at the "
+                f"probe (expected 0: fully debited)",
+            ))
+        snapshot = state["snapshot"] or {}
+        parked = {
+            entry["waits_on"]: entry
+            for entry in snapshot.get("parked", ())
+        }
+        wait = parked.get("socket.web.tx-credits")
+        if wait is None or wait["kind"] != "tank-get":
+            problems.append(Violation(
+                "credit-stall.wait-named",
+                f"wait-for graph did not name the stalled credit tank; "
+                f"parked on: {sorted(parked)}",
+            ))
+        else:
+            held = sum(h["amount"] for h in wait["holders"]
+                       if h["holds"] == "credit" and "pump" in h["process"])
+            if held != RING_BYTES:
+                problems.append(Violation(
+                    "credit-stall.owner-named",
+                    f"ownership ledger names {held} credit byte(s) held "
+                    f"by the pump (expected the full ring, {RING_BYTES})",
+                ))
+        return problems
+
+    return Scenario(
+        name="credit-stall",
+        description="a streaming receiver silently stops returning ring "
+                    "credits; the sender parks on its credit tank, the "
+                    "wait-for graph names the owner of every missing "
+                    "byte, and healing the stall conserves the stream",
+        hosts=2,
+        containers=(
+            Placement("web", "host0"),
+            Placement("db", "host1"),
+        ),
+        traffic=(),
+        steps=(
+            Step(0.0002, "stream opens; credit returns stalled",
+                 open_stream),
+            Step(0.002, "probe: snapshot the wait-for graph", probe),
+            Step(0.004, "stall heals; withheld credits flush", heal),
+        ),
+        duration_s=0.006,
+        conservation="exact",
+        extra_invariants=(check_stall_was_observed,),
+    )
+
+
 #: Catalogue, in run order.  The first entry is the CI smoke gate.
 SCENARIOS = {
     factory().name: factory
@@ -448,6 +581,7 @@ SCENARIOS = {
         _link_flap,
         _lossy_kernel_path,
         _kv_watch_drop,
+        _credit_stall,
     )
 }
 

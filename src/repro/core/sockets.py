@@ -304,9 +304,12 @@ class FreeFlowSocket:
         self._peer_bulk_rkey = peer._bulk_mr.rkey
         self._peer_ctrl_rkey = peer._ctrl_mr.rkey
         self._tx_ring = RingBuffer(RING_BYTES)
-        self._tx_credits = Tank(self.env, capacity=RING_BYTES,
-                                initial=RING_BYTES)
-        self._tx_lock = Resource(self.env, capacity=1)
+        self._tx_credits = Tank(
+            self.env, capacity=RING_BYTES, initial=RING_BYTES,
+            label=f"socket.{self.container.name}.tx-credits")
+        self._tx_lock = Resource(
+            self.env, capacity=1,
+            label=f"socket.{self.container.name}.tx-lock")
         self._doorbell = self.env.event()
 
     def _start_streaming(self) -> None:

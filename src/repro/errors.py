@@ -25,6 +25,7 @@ __all__ = [
     "CompactedRevision",
     "EngineInvariantError",
     "SanitizerViolation",
+    "DeadlockDetected",
     "SocketError",
     "ConnectionRefused",
     "ConnectionReset",
@@ -145,6 +146,19 @@ class SanitizerViolation(EngineInvariantError):
     hooks in the engine and flow layer: monotone sim clock, globally
     ordered event pops, byte/stat conservation across channel transplants,
     and FlowTable-only flow-state transitions.
+    """
+
+
+class DeadlockDetected(SanitizerViolation):
+    """The runtime wait-for graph found an unbreakable wait cycle.
+
+    Raised at park time by :mod:`repro.analysis.waitfor`
+    (``REPRO_WAITFOR=1``) when a process about to block on a lock
+    closes a cycle of lock holders — every process in the ring waits on
+    a slot held by the next, so no release can ever happen.  The message
+    names each process and the resource it waits on.  Tank/store waits
+    never raise (backpressure cycles can be broken by third parties);
+    they show up in the idle report instead.
     """
 
 

@@ -152,6 +152,11 @@ class _Direction:
         if trace is not None:
             trace.add("queue", mark, self.env.now)
             mark = self.env.now
+        # In-flight window bytes are repaid by the receive worker
+        # (window.get in _rx_worker) when the segment lands; the
+        # send-side stack latency between reservation and dispatch has
+        # no raising path in the model.
+        # simlint: disable=SIM012
         yield self.env.timeout(self.kernel.stack_latency_s)
         if trace is not None:
             trace.add("kernel", mark, self.env.now)

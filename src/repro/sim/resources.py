@@ -100,12 +100,20 @@ class Resource:
     so a pure-FIFO resource just never passes the argument.
     """
 
-    __slots__ = ("env", "_capacity", "users", "queue", "on_change")
+    __slots__ = ("env", "_capacity", "users", "queue", "on_change", "label")
 
-    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: int = 1,
+        label: Optional[str] = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
+        #: Optional human-readable name, surfaced by diagnostics (the
+        #: wait-for graph reports) instead of an anonymous repr.
+        self.label = label
         self._capacity = capacity
         self.users: list[Request] = []
         self.queue: list[Request] = []
@@ -227,12 +235,18 @@ class Store:
     pair without draining unrelated completions.
     """
 
-    __slots__ = ("env", "capacity", "items", "_put_queue", "_get_queue")
+    __slots__ = ("env", "capacity", "items", "_put_queue", "_get_queue", "label")
 
-    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        label: Optional[str] = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
+        self.label = label
         self.capacity = capacity
         self.items: Deque[Any] = deque()
         self._put_queue: Deque[StorePut] = deque()
@@ -348,19 +362,21 @@ class Tank:
     buffer pools and NIC ring occupancy accounting.
     """
 
-    __slots__ = ("env", "capacity", "_level", "_puts", "_gets")
+    __slots__ = ("env", "capacity", "_level", "_puts", "_gets", "label")
 
     def __init__(
         self,
         env: "Environment",
         capacity: float = float("inf"),
         initial: float = 0.0,
+        label: Optional[str] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         if not 0 <= initial <= capacity:
             raise ValueError(f"initial level {initial} outside [0, {capacity}]")
         self.env = env
+        self.label = label
         self.capacity = capacity
         self._level = float(initial)
         self._puts: Deque[TankPut] = deque()

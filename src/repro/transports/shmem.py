@@ -69,6 +69,10 @@ class ShmLane(Lane):
         if trace is not None:
             trace.add("queue", mark, self.env.now)
             mark = self.env.now
+        # Ring bytes double as the payload's storage until the consumer
+        # repays them (ring.get in recv/_rx_copy_worker, routed through
+        # message.meta["ring"] so transplants free the right ring).
+        # simlint: disable=SIM012
         yield from self.host.memcpy(nbytes)
         if trace is not None:
             trace.add("copy", mark, self.env.now)

@@ -95,6 +95,45 @@ def test_list_rules(capsys):
         assert code in out
 
 
+def test_explain_every_rule(capsys):
+    from repro.analysis.rules import ALL_RULES
+
+    for rule in ALL_RULES:
+        assert cli.main(["--explain", rule.code]) == 0
+        out = capsys.readouterr().out
+        assert rule.code in out
+        assert rule.summary in out
+        # Every rule ships its minimal fixture pair.
+        assert "Fires on:" in out
+        assert "Silent on:" in out
+
+
+def test_explain_is_case_insensitive(capsys):
+    assert cli.main(["--explain", "sim010"]) == 0
+    assert "SIM010" in capsys.readouterr().out
+
+
+def test_explain_unknown_rule_exits_2(capsys):
+    assert cli.main(["--explain", "SIM999"]) == 2
+    err = capsys.readouterr().err
+    assert "SIM999" in err and "SIM001-SIM012" in err
+
+
+def test_rule_examples_are_self_consistent():
+    """--explain's fixture pair is executable documentation: the bad
+    snippet fires its own rule, the good one is silent on it."""
+    from repro.analysis.core import LintContext, lint_source
+    from repro.analysis.rules import ALL_RULES
+
+    for rule in ALL_RULES:
+        bad = lint_source(rule.example_bad, rule.example_path,
+                          ctx=LintContext())
+        assert rule.code in {f.rule for f in bad}, rule.code
+        good = lint_source(rule.example_good, rule.example_path,
+                           ctx=LintContext())
+        assert rule.code not in {f.rule for f in good}, rule.code
+
+
 def test_lint_subcommand_registered_in_module_main():
     from repro.__main__ import main as repro_main
 

@@ -1,0 +1,130 @@
+"""Instrumentation composition: sanitizer + profiler + wait-for graph.
+
+All three instruments monkeypatch the same engine entry points
+(``Environment.run`` and friends) by saving whatever they find at
+install time.  That makes them composable in ANY install order as long
+as uninstalls run LIFO — each layer restores exactly what it wrapped.
+This file runs one workload under every permutation and proves (a)
+every instrument observes the run, and (b) LIFO teardown restores the
+pristine class methods.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.analysis import sanitizer, waitfor
+from repro.sim import Environment
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store, Tank
+from repro.telemetry import profiler as profiler_mod
+
+
+def _run_workload():
+    """Exercise every instrumented surface: engine stepping (sanitizer,
+    profiler), a lock park, a blocking store get, and tank traffic
+    (wait-for graph)."""
+    env = Environment()
+    lock = Resource(env, label="wl-lock")
+    inbox = Store(env, label="wl-inbox")
+    credits = Tank(env, capacity=16, initial=16, label="wl-credits")
+    got = []
+
+    def consumer():
+        with lock.request() as claim:
+            yield claim
+            yield credits.get(4)
+            item = yield inbox.get()
+            got.append(item)
+            yield credits.put(4)
+
+    def contender():
+        with lock.request() as claim:  # parks behind consumer
+            yield claim
+
+    def producer():
+        yield env.timeout(1e-6)
+        inbox.put("payload")
+
+    env.process(consumer())
+    env.process(contender())
+    env.process(producer())
+    env.run()
+    assert got == ["payload"]
+
+
+INSTRUMENTS = {
+    "sanitizer": (sanitizer.install, sanitizer.uninstall),
+    "profiler": (profiler_mod.install, profiler_mod.uninstall),
+    "waitfor": (waitfor.install, waitfor.uninstall),
+}
+
+
+@pytest.fixture
+def bare_engine():
+    """Run the test with all suite-wide instrumentation stripped, so
+    install-order permutations start from (and must restore) the
+    pristine class methods."""
+    had_sanitizer = sanitizer.installed()
+    had_waitfor = waitfor.installed()
+    had_profiler = profiler_mod.installed()
+    saved_profiler = profiler_mod.uninstall() if had_profiler else None
+    # LIFO relative to the REPRO_* arming order (sanitizer, then waitfor).
+    if had_waitfor:
+        waitfor.uninstall()
+    if had_sanitizer:
+        sanitizer.uninstall()
+    yield
+    if had_sanitizer:
+        sanitizer.install()
+    if had_waitfor:
+        waitfor.install()
+    if had_profiler:
+        profiler_mod.install(saved_profiler)
+
+
+@pytest.mark.parametrize(
+    "order", list(itertools.permutations(INSTRUMENTS)),
+    ids="+".join,
+)
+def test_any_install_order_composes_and_unwinds(order, bare_engine):
+    pristine_step = Environment.step
+    pristine_run = Environment.run
+    pristine_process_step = Process._step
+
+    profiler = None
+    for name in order:
+        result = INSTRUMENTS[name][0]()
+        if name == "profiler":
+            profiler = result
+    try:
+        _run_workload()
+        assert sanitizer.stats()["engine_step"] > 0
+        assert profiler.events_total > 0
+        assert waitfor.stats()["parks"] >= 1
+        assert waitfor.stats()["violations"] == 0
+    finally:
+        for name in reversed(order):
+            INSTRUMENTS[name][1]()
+
+    assert Environment.step is pristine_step
+    assert Environment.run is pristine_run
+    assert Process._step is pristine_process_step
+    assert not sanitizer.installed()
+    assert not profiler_mod.installed()
+    assert not waitfor.installed()
+
+
+def test_nested_uninstall_mid_stack_leaves_outer_layers_working(bare_engine):
+    """The chaos runner arms waitfor inside an already-sanitized run and
+    removes it first — the realistic partial unwind."""
+    sanitizer.install()
+    waitfor.install()
+    _run_workload()
+    waitfor.uninstall()
+    _run_workload()  # sanitizer must still be live and functional
+    assert sanitizer.stats()["engine_step"] > 0
+    sanitizer.uninstall()
+    assert not sanitizer.installed()

@@ -473,7 +473,7 @@ def test_disable_file_pragma_and_rule_registry():
     assert findings == []
     assert set(RULES_BY_CODE) == {
         "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
-        "SIM007", "SIM008", "SIM009",
+        "SIM007", "SIM008", "SIM009", "SIM010", "SIM011", "SIM012",
     }
 
 

@@ -8,7 +8,7 @@ from types import SimpleNamespace
 
 import pytest
 
-from repro.analysis import sanitizer
+from repro.analysis import sanitizer, waitfor
 from repro.core.flows import ChannelFactory, FlowConnection, FlowState
 from repro.errors import SanitizerViolation
 from repro.sim import Environment
@@ -31,6 +31,20 @@ def sanitized():
         sanitizer.uninstall()
 
 
+@pytest.fixture
+def waitfor_peeled():
+    """Tests that uninstall/reinstall the sanitizer must unwind LIFO:
+    when the suite armed the wait-for graph on top (REPRO_WAITFOR=1),
+    peel it first and put it back after, or the sanitizer's uninstall
+    would restore ``Environment.run`` out from under waitfor's wrapper."""
+    had_waitfor = waitfor.installed()
+    if had_waitfor:
+        waitfor.uninstall()
+    yield
+    if had_waitfor:
+        waitfor.install()
+
+
 def pingpong_workload(env: Environment) -> float:
     def proc():
         for _ in range(50):
@@ -43,7 +57,7 @@ def pingpong_workload(env: Environment) -> float:
 # -- engine checks -----------------------------------------------------------
 
 
-def test_sanitized_run_matches_unsanitized_engine(sanitized):
+def test_sanitized_run_matches_unsanitized_engine(waitfor_peeled, sanitized):
     env = Environment()
     result = pingpong_workload(env)
     processed = env.events_processed
@@ -167,7 +181,7 @@ def test_flow_state_guard_allows_transition_api_only(sanitized):
     assert flow.state is FlowState.ACTIVE
 
 
-def test_flow_created_before_install_still_guarded():
+def test_flow_created_before_install_still_guarded(waitfor_peeled):
     was_installed = sanitizer.installed()
     if was_installed:
         sanitizer.uninstall()
@@ -185,7 +199,7 @@ def test_flow_created_before_install_still_guarded():
 # -- install / uninstall -----------------------------------------------------
 
 
-def test_install_is_idempotent_and_uninstall_restores():
+def test_install_is_idempotent_and_uninstall_restores(waitfor_peeled):
     was_installed = sanitizer.installed()
     if was_installed:
         sanitizer.uninstall()

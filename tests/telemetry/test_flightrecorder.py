@@ -257,13 +257,17 @@ def test_profiler_install_uninstall_idempotent_and_restores_engine():
 def test_profiler_composes_with_sanitizer():
     from repro.analysis import sanitizer
 
+    had_sanitizer = sanitizer.installed()
     sanitizer.install()
     profiler = profiler_module.install()
     try:
         assert _tiny_sim() == 5
     finally:
         profiler_module.uninstall()
-        sanitizer.uninstall()
+        # Leave a suite-wide REPRO_SANITIZE=1 arming in place — and
+        # never uninstall out of order under a REPRO_WAITFOR=1 layer.
+        if not had_sanitizer:
+            sanitizer.uninstall()
     assert profiler.events_total > 0
 
 
