@@ -2,12 +2,15 @@
 
 Datacenter apps (the paper's partition/aggregate web tier, allreduce) hit
 many-to-one traffic.  This bench drives 1-6 sender hosts at a single
-receiver over FreeFlow/RDMA and over host-mode kernel TCP.  Both fan-ins
-converge to the receiver's 40 Gb/s link — the wall is the same — but the
-*price* differs by ~300×: the kernel burns a full receiver core (plus a
-sender core per host) to sustain it, while the RDMA fan-in does it with
-the receiver CPU essentially idle.  Under incast, FreeFlow's saving is
-pure CPU headroom for the application.
+receiver over FreeFlow/RDMA — on the k=4 **fat-tree** fabric (senders
+spread across pods, the fan-in crossing real edge/agg/core hops) and on
+the legacy flat single-switch fabric (the pre-§16 baseline) — plus
+host-mode kernel TCP.  All three converge to the receiver's 40 Gb/s
+link: the multi-path tree is non-blocking for many-to-one, so the wall
+is the receiver NIC, exactly as on the ideal switch.  The *price* still
+differs by ~300×: the kernel burns a full receiver core to sustain it,
+while the RDMA fan-in leaves the receiver CPU essentially idle.  Under
+incast, FreeFlow's saving is pure CPU headroom for the application.
 """
 
 import pytest
@@ -20,9 +23,9 @@ from common import fmt_table, freeflow_connect, make_testbed, record, stream
 SENDERS = (1, 2, 4, 6)
 
 
-def _incast(kind: str, senders: int):
-    env, cluster, network = make_testbed(hosts=senders + 1)
-    receiver_host = cluster.host("host0")
+def _incast(kind: str, senders: int, fat_tree: bool = False):
+    kwargs = {"fat_tree_k": 4} if fat_tree else {}
+    env, cluster, network = make_testbed(hosts=senders + 1, **kwargs)
     hosts = list(cluster.hosts)
     pairs = []
     for i in range(senders):
@@ -38,7 +41,9 @@ def _incast(kind: str, senders: int):
             channel = HostModeNetwork(env).connect(a, b, 1 + i, 100 + i)
         pairs.append((channel.a, channel.b))
     result = stream(env, None, hosts, duration_s=0.02, pairs=pairs)
-    return result.gbps, result.cpu_percent["host0"]
+    reorders = (cluster.host("host0").nic.fabric.reorders()
+                if fat_tree else 0)
+    return result.gbps, result.cpu_percent["host0"], reorders
 
 
 def test_incast(benchmark):
@@ -47,31 +52,42 @@ def test_incast(benchmark):
 
     def run():
         for senders in SENDERS:
-            ff_bw, ff_cpu = _incast("freeflow", senders)
-            tcp_bw, tcp_cpu = _incast("tcp", senders)
-            data[senders] = (ff_bw, ff_cpu, tcp_bw, tcp_cpu)
-            rows.append([senders, ff_bw, ff_cpu, tcp_bw, tcp_cpu])
+            tree_bw, tree_cpu, reorders = _incast(
+                "freeflow", senders, fat_tree=True
+            )
+            flat_bw, flat_cpu, _ = _incast("freeflow", senders)
+            tcp_bw, tcp_cpu, _ = _incast("tcp", senders)
+            data[senders] = (tree_bw, tree_cpu, flat_bw, tcp_bw, tcp_cpu,
+                             reorders)
+            rows.append([senders, tree_bw, flat_bw, tree_cpu,
+                         tcp_bw, tcp_cpu])
         return rows
 
     benchmark.pedantic(run, rounds=1, iterations=1)
 
     record(
-        "E20", "extension — incast: N sender hosts -> 1 receiver host",
+        "E20", "extension — incast: N sender hosts -> 1 receiver host "
+               "(fat-tree k=4 vs flat switch)",
         fmt_table(
-            ["senders", "freeflow Gb/s", "rx-host CPU%",
-             "host-tcp Gb/s", "rx-host CPU%"],
+            ["senders", "fat-tree ff Gb/s", "flat ff Gb/s",
+             "rx-host CPU%", "host-tcp Gb/s", "rx-host CPU%"],
             rows,
         ),
-        "both fan-ins hit the receiver's 40G link, but the kernel pays a "
+        "the multi-path tree is non-blocking for many-to-one, so both "
+        "fabrics hit the receiver's 40G link; the kernel still pays a "
         "full receiver core for it while RDMA's receiver CPU stays idle "
         "— FreeFlow's incast saving is CPU headroom, not bandwidth",
     )
 
-    # Both converge to the receiver link rate...
-    assert data[4][0] == pytest.approx(39, rel=0.08)
+    # All fan-ins converge to the receiver link rate...
+    assert data[4][0] == pytest.approx(39, rel=0.08)   # fat-tree
     assert data[6][0] == pytest.approx(39, rel=0.08)
-    assert data[6][2] == pytest.approx(38, rel=0.08)
+    assert data[4][2] == pytest.approx(39, rel=0.08)   # flat baseline
+    assert data[6][2] == pytest.approx(39, rel=0.08)
+    assert data[6][3] == pytest.approx(38, rel=0.08)   # kernel TCP
+    # ...the tree adds multi-path routing without ever reordering...
+    assert all(entry[5] == 0 for entry in data.values())
     # ...but the CPU price differs by orders of magnitude.
     assert data[6][1] < 5            # RDMA receiver: essentially idle
-    assert data[6][3] > 90           # kernel receiver: ~one full core
-    assert data[6][3] > 50 * data[6][1]
+    assert data[6][4] > 90           # kernel receiver: ~one full core
+    assert data[6][4] > 50 * data[6][1]

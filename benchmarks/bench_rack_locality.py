@@ -1,11 +1,23 @@
 """E22 (extension) — rack locality on an oversubscribed fabric.
 
 The paper's fabric assumption ("managed network fabrics") hides a
-datacenter reality: the rack uplinks are usually oversubscribed.  On a
-two-tier fabric (4 hosts, 2 racks, 4:1 oversubscribed 20 Gb/s core),
-cross-rack FreeFlow/RDMA pairs share the skinny core while intra-rack
-pairs keep the full 40 Gb/s NIC rate — so placement has a second tier of
-leverage beyond co-location: same host > same rack > cross rack.
+datacenter reality: the uplinks toward the core are usually
+oversubscribed.  Two fabrics make the point:
+
+* **flat** (the pre-§16 baseline): a single switch with racks and a
+  4:1 oversubscribed 20 Gb/s core pipe — same host > same rack >
+  cross rack.
+* **fat-tree** (§16): a k=4 multi-path tree with ``core_rate_scale``
+  0.25 (10 Gb/s agg-core links, 4:1 oversubscribed).  The locality
+  ladder gains a rung — same host > same edge ≈ same pod > cross pod —
+  because the tree is non-blocking *below* the core: only traffic that
+  must climb to a core switch pays the skinny uplinks, and ECMP/flowlet
+  routing spreads it over the four equal-cost core paths without ever
+  reordering a flowlet.
+
+So placement has tiers of leverage beyond co-location: shared memory on
+one host, full NIC rate under an edge or inside a pod, the shared core
+between pods.
 """
 
 import pytest
@@ -13,13 +25,15 @@ import pytest
 from repro import ContainerSpec
 from repro.cluster import ClusterOrchestrator
 from repro.core import FreeFlowNetwork
-from repro.hardware import Fabric, Host
+from repro.hardware import Fabric, FatTreeFabric, Host
 from repro.metrics import run_stream
 from repro.sim import Environment
 
 from common import fmt_table, record
 
 CORE_GBPS = 20
+#: Fat-tree agg-core capacity as a fraction of the edge links (4:1).
+CORE_RATE_SCALE = 0.25
 
 
 def _build_two_racks():
@@ -33,19 +47,48 @@ def _build_two_racks():
         cluster.add_host(host)
         hosts.append(host)
     network = FreeFlowNetwork(cluster)
-    return env, cluster, network, hosts
+    return env, cluster, network, hosts, fabric
 
 
-def _measure(placement: str, pairs: int = 2):
-    env, cluster, network, hosts = _build_two_racks()
+def _build_fat_tree():
+    """8 hosts on a k=4 tree: ports 0-3 are pod 0, ports 4-7 pod 1."""
+    env = Environment()
+    fabric = FatTreeFabric(env, k=4, core_rate_scale=CORE_RATE_SCALE)
+    cluster = ClusterOrchestrator(env)
+    hosts = []
+    for index in range(8):
+        host = Host(env, f"host{index}", fabric=fabric)
+        cluster.add_host(host)
+        hosts.append(host)
+    network = FreeFlowNetwork(cluster)
+    return env, cluster, network, hosts, fabric
+
+
+#: placement -> [(src host, dst host)] per fabric flavour.  Each pair
+#: gets its own sender NIC so the fabric, not a shared uplink, is what
+#: differentiates the tiers.
+FLAT_PLACEMENTS = {
+    "same host": [("host0", "host0"), ("host0", "host0")],
+    "same rack": [("host0", "host1"), ("host0", "host1")],
+    "cross rack": [("host0", "host2"), ("host1", "host3")],
+}
+TREE_PLACEMENTS = {
+    "same host": [("host0", "host0"), ("host0", "host0")],
+    "same edge": [("host0", "host1"), ("host1", "host0")],
+    "same pod": [("host0", "host2"), ("host1", "host3")],
+    "cross pod": [("host0", "host4"), ("host1", "host5")],
+}
+
+
+def _measure(flavour: str, placement: str):
+    if flavour == "flat":
+        env, cluster, network, hosts, fabric = _build_two_racks()
+        pairs = FLAT_PLACEMENTS[placement]
+    else:
+        env, cluster, network, hosts, fabric = _build_fat_tree()
+        pairs = TREE_PLACEMENTS[placement]
     endpoint_pairs = []
-    for i in range(pairs):
-        if placement == "same host":
-            loc_a = loc_b = "host0"
-        elif placement == "same rack":
-            loc_a, loc_b = "host0", "host1"
-        else:  # cross rack
-            loc_a, loc_b = f"host{i % 2}", f"host{2 + i % 2}"
+    for i, (loc_a, loc_b) in enumerate(pairs):
         a = cluster.submit(ContainerSpec(f"a{i}", pinned_host=loc_a))
         b = cluster.submit(ContainerSpec(f"b{i}", pinned_host=loc_b))
         network.attach(a)
@@ -60,7 +103,8 @@ def _measure(placement: str, pairs: int = 2):
         connection = env.run(until=env.process(go()))
         endpoint_pairs.append((connection.a, connection.b))
     result = run_stream(env, endpoint_pairs, duration_s=0.02, hosts=hosts)
-    return result.gbps
+    reorders = fabric.reorders() if flavour == "fat-tree" else 0
+    return result.gbps, reorders
 
 
 def test_rack_locality(benchmark):
@@ -68,25 +112,45 @@ def test_rack_locality(benchmark):
     data = {}
 
     def run():
-        for placement in ("same host", "same rack", "cross rack"):
-            gbps = _measure(placement)
-            data[placement] = gbps
-            rows.append([placement, gbps])
+        for flavour, placements in (("flat", FLAT_PLACEMENTS),
+                                    ("fat-tree", TREE_PLACEMENTS)):
+            for placement in placements:
+                gbps, reorders = _measure(flavour, placement)
+                data[(flavour, placement)] = (gbps, reorders)
+                rows.append([f"{flavour}: {placement}", gbps])
         return rows
 
     benchmark.pedantic(run, rounds=1, iterations=1)
 
     record(
-        "E22", "extension — 2 FreeFlow pairs on a 2-rack fabric "
-               f"({CORE_GBPS} Gb/s oversubscribed core)",
+        "E22", "extension — 2 FreeFlow pairs per placement tier "
+               f"(flat {CORE_GBPS} Gb/s core vs fat-tree k=4 at "
+               f"{CORE_RATE_SCALE:g}x core rate)",
         fmt_table(["placement", "aggregate Gb/s"], rows),
         "placement leverage has tiers: shared memory on one host, full "
-        "NIC rate inside a rack, the shared core across racks",
+        "NIC rate under an edge or inside a pod, the shared "
+        "oversubscribed core between racks/pods",
     )
 
-    assert data["same host"] > data["same rack"] > data["cross rack"]
-    # Cross-rack pairs share the 20G core.
-    assert data["cross rack"] == pytest.approx(CORE_GBPS, rel=0.12)
-    # Same-rack pairs each get their own 40G path (2 pairs here, but the
-    # two senders share host0's uplink, so ~39 Gb/s aggregate).
-    assert data["same rack"] == pytest.approx(39, rel=0.1)
+    flat = {p: data[("flat", p)][0] for p in FLAT_PLACEMENTS}
+    tree = {p: data[("fat-tree", p)][0] for p in TREE_PLACEMENTS}
+
+    # -- flat baseline: the original E22 shape, unchanged.
+    assert flat["same host"] > flat["same rack"] > flat["cross rack"]
+    assert flat["cross rack"] == pytest.approx(CORE_GBPS, rel=0.12)
+    assert flat["same rack"] == pytest.approx(39, rel=0.1)
+
+    # -- fat-tree: one more rung on the ladder.
+    assert tree["same host"] > tree["same edge"]
+    # Non-blocking below the core: an edge hop costs no bandwidth vs
+    # staying under one edge switch.
+    assert tree["same pod"] == pytest.approx(tree["same edge"], rel=0.1)
+    # Only pod-crossing traffic pays the 4:1 oversubscription...
+    assert tree["cross pod"] < 0.6 * tree["same pod"]
+    # ...but flowlet re-hashing spreads the two flows over all four
+    # skinny core paths, beating the 2 x 10 Gb/s static-ECMP ceiling
+    # while staying under the core's total capacity.
+    assert tree["cross pod"] > 2 * CORE_RATE_SCALE * 40
+    assert tree["cross pod"] <= 4 * CORE_RATE_SCALE * 40 * 1.05
+    # Multi-path routing never reordered a flowlet.
+    assert all(r == 0 for _, r in data.values())

@@ -42,16 +42,29 @@ __all__ = [
 ]
 
 
-def quickstart_cluster(hosts: int = 2, spec=None, **network_kwargs):
+def quickstart_cluster(hosts: int = 2, spec=None, fat_tree_k=None,
+                       flowlet_gap_s=None, **network_kwargs):
     """One-call testbed: an environment, ``hosts`` hosts on a fabric, a
     cluster orchestrator and a FreeFlow network.
+
+    With ``fat_tree_k`` set, the hosts attach to a k-ary fat-tree
+    (:class:`~repro.hardware.FatTreeFabric`) with ECMP + flowlet
+    multi-path routing instead of the single non-blocking switch;
+    ``flowlet_gap_s`` tunes the flowlet idle threshold
+    (``float('inf')`` pins paths: plain ECMP).
 
     Returns ``(env, cluster, network)``.
     """
     if hosts <= 0:
         raise ValueError(f"hosts must be positive, got {hosts}")
     env = Environment()
-    fabric = Fabric(env)
+    if fat_tree_k is not None:
+        from .hardware import FatTreeFabric
+
+        fabric = FatTreeFabric(env, k=fat_tree_k,
+                               flowlet_gap_s=flowlet_gap_s)
+    else:
+        fabric = Fabric(env)
     cluster = ClusterOrchestrator(env)
     for index in range(hosts):
         cluster.add_host(Host(env, f"host{index}", spec=spec, fabric=fabric))

@@ -57,9 +57,14 @@ class LinkInjector:
     def __init__(self, fabric: "Fabric") -> None:
         self.fabric = fabric
         self._original_rates: dict[int, tuple] = {}
+        #: Individual fat-tree cables killed via :meth:`fail_link`
+        #: (name pairs), so :meth:`restore_links` can undo them all.
+        self._failed_links: list[tuple[str, str]] = []
         self.degrades = 0
         self.partitions = 0
         self.heals = 0
+        self.link_fails = 0
+        self.link_heals = 0
 
     def degrade_host(self, host: "Host", factor: float) -> None:
         """Scale ``host``'s NIC egress+ingress rate by ``factor``."""
@@ -98,6 +103,35 @@ class LinkInjector:
         self.fabric.heal()
         self.heals += 1
         counter_inc("repro.chaos.link.heals")
+
+    # -- fat-tree link faults ------------------------------------------------
+
+    def fail_link(self, a_name: str, b_name: str) -> None:
+        """Kill one individual fat-tree cable (both directions).
+
+        Unlike :meth:`partition_hosts` this does not cut any host pair:
+        the multi-path fabric must *reroute* around the dead cable, and
+        queued traffic is drained onto detours immediately.  Requires a
+        :class:`~repro.hardware.topology.FatTreeFabric`.
+        """
+        self.fabric.fail_link(a_name, b_name)
+        self._failed_links.append((a_name, b_name))
+        self.link_fails += 1
+        counter_inc("repro.chaos.link.link_fails")
+
+    def heal_link(self, a_name: str, b_name: str) -> None:
+        """Bring one fat-tree cable back up."""
+        self.fabric.heal_link(a_name, b_name)
+        self._failed_links = [pair for pair in self._failed_links
+                              if pair != (a_name, b_name)]
+        self.link_heals += 1
+        counter_inc("repro.chaos.link.link_heals")
+
+    def restore_links(self) -> None:
+        """Heal every cable killed via :meth:`fail_link` (idempotent)."""
+        failed, self._failed_links = self._failed_links, []
+        for a_name, b_name in failed:
+            self.fabric.heal_link(a_name, b_name)
 
 
 class KernelPathFaults:

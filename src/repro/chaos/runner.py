@@ -79,7 +79,15 @@ class ChaosHarness:
         self.seed = seed
         self.streams = StreamFactory(seed)
         self.env = Environment()
-        self.fabric = Fabric(self.env)
+        if scenario.fat_tree_k is not None:
+            from ..hardware import FatTreeFabric
+
+            self.fabric = FatTreeFabric(
+                self.env, k=scenario.fat_tree_k,
+                flowlet_gap_s=scenario.flowlet_gap_s,
+            )
+        else:
+            self.fabric = Fabric(self.env)
         self.cluster = ClusterOrchestrator(
             self.env, host_lease_ttl_s=scenario.host_lease_ttl_s
         )
@@ -152,6 +160,7 @@ class ChaosHarness:
         for fault in self.kv_faults.values():
             fault.uninstall()
         self.link.restore_rates()
+        self.link.restore_links()
         self.fabric.heal()
         self.network.reconciler.stop()
 
@@ -344,6 +353,8 @@ def _fault_stats(harness: ChaosHarness) -> dict:
             "degrades": harness.link.degrades,
             "partitions": harness.link.partitions,
             "heals": harness.link.heals,
+            "link_fails": harness.link.link_fails,
+            "link_heals": harness.link.link_heals,
         },
         "nic": {"capability_faults": harness.nic.capability_faults},
         "host": {

@@ -99,6 +99,15 @@ class Scenario:
     #: host's keepalives (``harness.hosts.silence``) to model silent
     #: death — the fleet learns via lease expiry, not an explicit call.
     host_lease_ttl_s: Optional[float] = None
+    #: With an arity set, the harness builds a k-ary fat-tree fabric
+    #: (multi-path ECMP + flowlet routing) instead of the single
+    #: non-blocking switch; steps can then kill individual links
+    #: (``harness.link.fail_link``) and the scenario's invariants can
+    #: read the fabric's flowlet/reorder/detour accounting.
+    fat_tree_k: Optional[int] = None
+    #: Flowlet idle-gap override for fat-tree scenarios (None keeps the
+    #: selector default; ``float('inf')`` pins paths: plain ECMP).
+    flowlet_gap_s: Optional[float] = None
     #: Scenario-specific end-of-run probes.  Each is called with the
     #: harness (after the standard invariants, only if the run did not
     #: crash) and returns a list of
@@ -112,6 +121,15 @@ class Scenario:
             raise ValueError("duration_s must be positive")
         if self.host_lease_ttl_s is not None and self.host_lease_ttl_s <= 0:
             raise ValueError("host_lease_ttl_s must be positive")
+        if self.fat_tree_k is not None:
+            if self.fat_tree_k < 2 or self.fat_tree_k % 2:
+                raise ValueError("fat_tree_k must be even and >= 2")
+            if self.hosts > self.fat_tree_k ** 3 // 4:
+                raise ValueError(
+                    f"scenario {self.name!r}: {self.hosts} hosts exceed "
+                    f"the k={self.fat_tree_k} fat-tree's "
+                    f"{self.fat_tree_k ** 3 // 4} ports"
+                )
         if self.conservation not in CONSERVATION_MODES:
             raise ValueError(
                 f"conservation must be one of {CONSERVATION_MODES}, "

@@ -11,6 +11,7 @@ from .host import Host
 from .link import Fabric
 from .memory import MemoryBus
 from .nic import PhysicalNic
+from .topology import FabricLink, FatTreeFabric, FatTreeTopology, SwitchNode
 from .specs import (
     GBPS,
     NO_RDMA_TESTBED,
@@ -36,6 +37,9 @@ __all__ = [
     "CpuSpec",
     "DpdkSpec",
     "Fabric",
+    "FabricLink",
+    "FatTreeFabric",
+    "FatTreeTopology",
     "GBPS",
     "Host",
     "HostSpec",
@@ -48,6 +52,7 @@ __all__ = [
     "PAPER_TESTBED",
     "PhysicalNic",
     "ShmSpec",
+    "SwitchNode",
     "VirtualMachine",
     "VmSpec",
     "gbps",

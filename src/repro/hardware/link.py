@@ -153,6 +153,7 @@ class Fabric:
         wire_bytes: float,
         deliver: Callable[[], None],
         priority: int = 0,
+        flow=None,
     ):
         """Carry ``wire_bytes`` from ``src`` to ``dst`` (generator).
 
@@ -160,7 +161,13 @@ class Fabric:
         and the destination's ingress happen in a spawned process so that
         back-to-back sends pipeline, as on a real wire.  ``deliver`` is
         invoked once the last byte has cleared the destination NIC.
+
+        ``flow`` is an optional hashable flow identity.  The single
+        switch has one path, so it is ignored here; the fat-tree
+        subclass (:class:`~repro.hardware.topology.FatTreeFabric`)
+        ECMP-hashes it to pick among equal-cost paths.
         """
+        del flow  # single-path fabric: no routing decision to make
         if src.fabric is not self or dst.fabric is not self:
             raise ValueError("both NICs must be attached to this fabric")
         if src is dst:

@@ -9,15 +9,19 @@ from .addressing import IpPool, OverlaySubnets
 from .bridge import SoftwareBridge
 from .overlay import OverlayRouter
 from .packet import EndpointAddr, Message, segment_count
+from .pathsel import FLOWLET_GAP_S, PathSelector, Route, ecmp_hash
 from .routing import RouteTable, RoutingMesh
 from .tcp import TcpConnection, TcpEnd, TcpMode, TcpStats
 
 __all__ = [
     "EndpointAddr",
+    "FLOWLET_GAP_S",
     "IpPool",
     "Message",
     "OverlayRouter",
     "OverlaySubnets",
+    "PathSelector",
+    "Route",
     "RouteTable",
     "RoutingMesh",
     "SoftwareBridge",
@@ -25,5 +29,6 @@ __all__ = [
     "TcpEnd",
     "TcpMode",
     "TcpStats",
+    "ecmp_hash",
     "segment_count",
 ]

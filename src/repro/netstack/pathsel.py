@@ -1,0 +1,324 @@
+"""Multi-path route selection: ECMP hashing + flowlet switching.
+
+A fat-tree gives every inter-pod host pair ``(k/2)^2`` equal-cost paths;
+*which* one a packet takes is a pure routing decision, so it lives here
+in the netstack, not in the hardware model.  The
+:class:`PathSelector` makes that decision the way datacenter switches
+do:
+
+* **ECMP** — hash the flow identity (the 5-tuple, or whatever hashable
+  key the caller supplies) once per hop tier and index into the sorted
+  candidate set.  The hash is :mod:`hashlib`-based, so path assignment
+  is a pure function of the key — deterministic across runs and
+  interpreters (builtin ``hash()`` is salted; SIM001 bans it).
+* **Flowlet switching** — per flow, remember when the last message was
+  staged; an idle gap longer than ``flowlet_gap_s`` ends the current
+  *flowlet* and bumps a flowlet id that is hashed along with the
+  5-tuple, re-rolling the path (the CONGA/LetFlow trick: bursts can be
+  moved between paths without reordering packets inside a burst).
+* **Failure detours** — when a hop's chosen link is down, the remaining
+  candidates are re-enumerated and the same hash indexes into the
+  surviving set.  A detour (or a topology change between two messages
+  of one flowlet) forcibly *ends* the flowlet: the rerouted messages
+  carry a new flowlet key, so the no-reordering-within-a-flowlet
+  invariant is preserved by construction and checkable by the tracer.
+
+Per-flow state is bounded: beyond ``max_flows`` entries the oldest flow
+is evicted (and counted), so the selector costs O(1) memory no matter
+how many flows ever crossed the fabric.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import RoutingError
+from ..telemetry.registry import counter_inc, histogram_observe
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.topology import FabricLink, FatTreeTopology
+
+__all__ = ["PathSelector", "Route", "FLOWLET_GAP_S", "ecmp_hash"]
+
+#: Default idle gap (sim seconds) that ends a flowlet.  Real deployments
+#: use ~50-500 us at 40G (it must exceed the worst path-latency skew so
+#: a re-hashed burst cannot overtake the tail of the previous one); our
+#: per-hop latency is ~1 us and path skew is bounded by queueing, so
+#: 200 us is comfortably safe at the simulated scale.
+FLOWLET_GAP_S = 200e-6
+
+
+def ecmp_hash(*parts) -> int:
+    """Stable 64-bit hash of the given parts (order matters).
+
+    sha256-based so the value is identical across interpreter runs —
+    the property the byte-identical-report CI gates need.
+    """
+    text = ":".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class Route:
+    """One routing decision: the hop sequence plus flowlet bookkeeping."""
+
+    __slots__ = ("path", "flowlet_key", "seq")
+
+    def __init__(self, path, flowlet_key, seq) -> None:
+        #: Ordered tuple of :class:`FabricLink` hops (empty for
+        #: same-edge traffic).
+        self.path = path
+        #: Hashable flowlet identity: (flow key, flowlet id, topology
+        #: version at selection time).  Messages sharing a flowlet key
+        #: must never be delivered out of order.
+        self.flowlet_key = flowlet_key
+        #: Send sequence number within the flowlet (reorder tracing).
+        self.seq = seq
+
+
+class _FlowState:
+    """Per-flow flowlet tracking (bounded by PathSelector.max_flows)."""
+
+    __slots__ = ("last_seen_s", "flowlet_id", "path", "topo_version", "seq")
+
+    def __init__(self) -> None:
+        self.last_seen_s = -float("inf")
+        self.flowlet_id = 0
+        self.path = None
+        self.topo_version = -1
+        self.seq = 0
+
+
+class PathSelector:
+    """ECMP + flowlet path selection over a fat-tree topology."""
+
+    def __init__(
+        self,
+        topology: "FatTreeTopology",
+        flowlet_gap_s: Optional[float] = FLOWLET_GAP_S,
+        max_flows: int = 4096,
+    ) -> None:
+        if flowlet_gap_s is not None and flowlet_gap_s <= 0:
+            raise ValueError(
+                f"flowlet_gap_s must be positive or None, got {flowlet_gap_s}"
+            )
+        if max_flows < 1:
+            raise ValueError(f"max_flows must be >= 1, got {max_flows}")
+        self.topology = topology
+        #: None disables flowlet switching entirely (plain ECMP): the
+        #: path is pinned to the 5-tuple hash for the flow's lifetime.
+        self.flowlet_gap_s = flowlet_gap_s
+        self.max_flows = max_flows
+        self._flows: dict = {}
+        #: Flowlet boundaries that re-rolled the path (the LetFlow move).
+        self.rehashes = 0
+        #: Flow-state entries evicted to stay under ``max_flows``.
+        self.evictions = 0
+        #: Mid-network detours around dead links.
+        self.detours = 0
+
+    # -- flowlet detection ---------------------------------------------------
+
+    def route(self, now_s: float, src_edge, dst_edge, flow_key) -> Route:
+        """Pick the hop sequence for one message staged at ``now_s``.
+
+        ``flow_key`` is any hashable flow identity (a 5-tuple, a host
+        pair, ...).  Consecutive calls within ``flowlet_gap_s`` reuse
+        the cached path; a longer idle gap bumps the flowlet id and
+        re-hashes.
+        """
+        state = self._flows.get(flow_key)
+        if state is None:
+            state = _FlowState()
+            self._flows[flow_key] = state
+            while len(self._flows) > self.max_flows:
+                evicted = next(iter(self._flows))
+                del self._flows[evicted]
+                self.evictions += 1
+                counter_inc("repro.fabric.flow_evictions")
+        gap = now_s - state.last_seen_s
+        topo_version = self.topology.version
+        stale = state.path is None or state.topo_version != topo_version
+        if (not stale and self.flowlet_gap_s is not None
+                and gap > self.flowlet_gap_s):
+            state.flowlet_id += 1
+            state.seq = 0
+            stale = True
+            self.rehashes += 1
+            counter_inc("repro.fabric.flowlet_rehashes")
+        if stale:
+            old_path = state.path
+            state.path = self._compute_path(
+                flow_key, state.flowlet_id, src_edge, dst_edge
+            )
+            state.topo_version = topo_version
+            if old_path is not None and old_path != state.path:
+                counter_inc("repro.fabric.path_changes")
+        state.last_seen_s = now_s
+        seq = state.seq
+        state.seq += 1
+        return Route(
+            state.path, (flow_key, state.flowlet_id, state.topo_version), seq
+        )
+
+    # -- ECMP path computation -----------------------------------------------
+
+    def _compute_path(self, flow_key, flowlet_id, src_edge, dst_edge):
+        """Hop-by-hop ECMP: hash over the alive candidate set per tier."""
+        topo = self.topology
+        if src_edge is dst_edge:
+            return ()
+        if src_edge.pod == dst_edge.pod:
+            aggs = [
+                agg for agg in topo.pod_aggs(src_edge.pod)
+                if topo.link(src_edge, agg).up and topo.link(agg, dst_edge).up
+            ]
+            if not aggs:
+                raise RoutingError(
+                    f"no alive path {src_edge.name} -> {dst_edge.name}"
+                )
+            choice = ecmp_hash(flow_key, flowlet_id, "agg") % len(aggs)
+            agg = aggs[choice]
+            path = (topo.link(src_edge, agg), topo.link(agg, dst_edge))
+        else:
+            candidates = self._inter_pod_choices(src_edge, dst_edge)
+            if not candidates:
+                raise RoutingError(
+                    f"no alive path {src_edge.name} -> {dst_edge.name}"
+                )
+            aggs = sorted(candidates, key=lambda agg: agg.index)
+            agg = aggs[ecmp_hash(flow_key, flowlet_id, "agg") % len(aggs)]
+            cores = candidates[agg]
+            core = cores[ecmp_hash(flow_key, flowlet_id, "core") % len(cores)]
+            down_agg = topo.pod_aggs(dst_edge.pod)[agg.index]
+            path = (
+                topo.link(src_edge, agg),
+                topo.link(agg, core),
+                topo.link(core, down_agg),
+                topo.link(down_agg, dst_edge),
+            )
+        self._account_assignment(path)
+        return path
+
+    def _inter_pod_choices(self, src_edge, dst_edge):
+        """agg -> [cores] with every hop of the full path alive.
+
+        A core reaches exactly one aggregation switch per pod (the one
+        sharing its group index), so picking (agg, core) fixes the whole
+        path; the downward legs are filtered here so a dead core
+        downlink removes that core from the candidate set.
+        """
+        topo = self.topology
+        choices = {}
+        for agg in topo.pod_aggs(src_edge.pod):
+            if not topo.link(src_edge, agg).up:
+                continue
+            down_agg = topo.pod_aggs(dst_edge.pod)[agg.index]
+            if not topo.link(down_agg, dst_edge).up:
+                continue
+            cores = [
+                core for core in topo.agg_cores(agg)
+                if topo.link(agg, core).up and topo.link(core, down_agg).up
+            ]
+            if cores:
+                choices[agg] = cores
+        return choices
+
+    def _account_assignment(self, path) -> None:
+        """Collision accounting: how loaded is the chosen bottleneck?"""
+        for link in path:
+            link.assignments += 1
+        bottleneck = self._bottleneck(path)
+        if bottleneck is not None:
+            histogram_observe(
+                "repro.fabric.path_collisions", float(bottleneck.assignments)
+            )
+
+    @staticmethod
+    def _bottleneck(path) -> "FabricLink | None":
+        """The upward agg->core hop (or the single up hop intra-pod)."""
+        for link in path:
+            if link.tier == "agg-core":
+                return link
+        return path[0] if path else None
+
+    # -- failure detours -----------------------------------------------------
+
+    def detour(self, transit, hop: int) -> None:
+        """Recompute ``transit``'s remaining hops around dead links.
+
+        Called by the fabric when the next planned hop is down.  The
+        detour is a pure function of (flow key, flowlet id, topology
+        version, current node), so every message of the same flowlet
+        parked behind the same failure takes the same detour in FIFO
+        order — no intra-flowlet reordering.  The rerouted messages get
+        a *new* flowlet key (the failure ends the flowlet).
+        """
+        flow_key, flowlet_id, _ = transit.flowlet_key
+        node = transit.path[hop].src
+        topo = self.topology
+        suffix = self._detour_suffix(
+            flow_key, flowlet_id, node, transit.dst_edge
+        )
+        transit.path = transit.path[:hop] + suffix
+        transit.flowlet_key = (flow_key, flowlet_id, topo.version)
+        self.detours += 1
+        counter_inc("repro.fabric.reroutes")
+
+    def _detour_suffix(self, flow_key, flowlet_id, node, dst_edge):
+        """Alive hop sequence from ``node`` to ``dst_edge``."""
+        topo = self.topology
+        if node is dst_edge:
+            return ()
+        kind = node.kind
+        if kind == "edge":
+            # Restart selection from the source edge (alive-filtered).
+            return self._compute_path(
+                (flow_key, "detour", topo.version), flowlet_id, node, dst_edge
+            )
+        if kind == "agg":
+            if node.pod == dst_edge.pod:
+                link = topo.link(node, dst_edge)
+                if link.up:
+                    return (link,)
+                raise RoutingError(
+                    f"no alive path {node.name} -> {dst_edge.name}"
+                )
+            down_aggs = topo.pod_aggs(dst_edge.pod)
+            cores = [
+                core for core in topo.agg_cores(node)
+                if topo.link(node, core).up
+                and topo.link(core, down_aggs[node.index]).up
+                and topo.link(down_aggs[node.index], dst_edge).up
+            ]
+            if not cores:
+                raise RoutingError(
+                    f"no alive path {node.name} -> {dst_edge.name}"
+                )
+            choice = ecmp_hash(
+                flow_key, flowlet_id, "detour", node.name, topo.version
+            ) % len(cores)
+            core = cores[choice]
+            down_agg = down_aggs[node.index]
+            return (
+                topo.link(node, core),
+                topo.link(core, down_agg),
+                topo.link(down_agg, dst_edge),
+            )
+        # Core: the downward path is forced (one agg per pod).
+        down_agg = topo.pod_aggs(dst_edge.pod)[node.group]
+        first = topo.link(node, down_agg)
+        second = topo.link(down_agg, dst_edge)
+        if not (first.up and second.up):
+            raise RoutingError(f"no alive path {node.name} -> {dst_edge.name}")
+        return (first, second)
+
+    # -- introspection -------------------------------------------------------
+
+    def flow_count(self) -> int:
+        return len(self._flows)
+
+    def reset(self) -> None:
+        """Forget all per-flow state (counters are kept)."""
+        self._flows.clear()

@@ -299,6 +299,16 @@ def format_top(
         if rows:
             sections.append("link / NIC-engine utilisation")
             sections.append(_table(["gauge", "value"], rows))
+        rows = []
+        for name, value in sorted(registry.query("repro.fabric.").items()):
+            if ".util." in name:
+                rows.append([name, f"{float(value) * 100:.1f}%"])
+            elif name.endswith((".links_down", ".rehashes", ".detours",
+                                ".reorders_seen")):
+                rows.append([name, f"{float(value):.0f}"])
+        if rows:
+            sections.append("fabric (per-tier link utilisation)")
+            sections.append(_table(["gauge", "value"], rows))
     return "\n".join(sections)
 
 

@@ -313,7 +313,9 @@ class MetricsRegistry:
 
     def register_fabric(self, fabric) -> None:
         """Publish the physical fabric's gauges (attached NICs, shared
-        core-pipe utilisation in two-tier mode, active partitions)."""
+        core-pipe utilisation in two-tier mode, active partitions; on a
+        fat-tree also link counts, selector state and per-tier link
+        utilisation rollups)."""
         prefix = "repro.fabric"
         if f"{prefix}.nics" in self._metrics:
             return
@@ -326,6 +328,31 @@ class MetricsRegistry:
             fn=lambda f=fabric: (float(f.core.utilisation())
                                  if f.core is not None else 0.0),
         )
+        topology = getattr(fabric, "topology", None)
+        if topology is None:
+            return
+        self.gauge(f"{prefix}.links",
+                   fn=lambda t=topology: float(len(t.links())))
+        self.gauge(f"{prefix}.links_down",
+                   fn=lambda t=topology: float(len(t.down_links())))
+        selector = fabric.selector
+        self.gauge(f"{prefix}.flows_tracked",
+                   fn=lambda s=selector: float(s.flow_count()))
+        self.gauge(f"{prefix}.rehashes",
+                   fn=lambda s=selector: float(s.rehashes))
+        self.gauge(f"{prefix}.detours",
+                   fn=lambda s=selector: float(s.detours))
+        self.gauge(f"{prefix}.reorders_seen",
+                   fn=lambda f=fabric: float(f.tracer.reorders))
+        # One gauge per link tier ("edge-agg", "agg-core"): a fixed
+        # two-entry keyspace set by the topology model, not by traffic.
+        for tier in ("edge-agg", "agg-core"):
+            self.gauge(
+                f"{prefix}.util.{tier}",
+                fn=lambda t=topology, tier=tier: float(
+                    t.tier_utilisation()[tier]
+                ),
+            )
 
     def register_cluster(self, orchestrator) -> None:
         """Publish fleet-level lifecycle gauges for a ClusterOrchestrator."""

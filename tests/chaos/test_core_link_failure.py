@@ -1,0 +1,63 @@
+"""The core-link-failure scenario: reroute, conserve, never reorder."""
+
+import json
+
+import pytest
+
+from repro.chaos.runner import run_scenario
+from repro.chaos.scenario import Scenario
+from repro.chaos.scenarios import SCENARIOS, get
+
+
+def test_scenario_is_registered():
+    assert "core-link-failure" in SCENARIOS
+    scenario = get("core-link-failure")
+    assert scenario.fat_tree_k == 4
+    assert scenario.conservation == "exact"
+
+
+def test_fat_tree_scenario_validation():
+    with pytest.raises(ValueError, match="even"):
+        Scenario(name="bad", description="", hosts=2, containers=(),
+                 traffic=(), steps=(), duration_s=1.0, fat_tree_k=3)
+    with pytest.raises(ValueError, match="exceed"):
+        Scenario(name="bad", description="", hosts=3,
+                 containers=(), traffic=(), steps=(), duration_s=1.0,
+                 fat_tree_k=2)
+
+
+def test_core_link_failure_passes_and_reroutes():
+    report = run_scenario(get("core-link-failure"), seed=1)
+    assert report["ok"], report["violations"]
+    assert report["faults"]["link"]["link_fails"] == 1
+    assert report["faults"]["link"]["link_heals"] == 1
+    # Exact conservation across the outage.
+    for counts in report["traffic"].values():
+        assert counts["received"] == counts["sent"] > 0
+
+
+def test_core_link_failure_report_is_deterministic():
+    reports = [
+        json.dumps(run_scenario(get("core-link-failure"), seed=7),
+                   sort_keys=True)
+        for _ in range(2)
+    ]
+    assert reports[0] == reports[1]
+
+
+def test_fat_tree_harness_uses_multi_path_fabric():
+    from repro.chaos.runner import ChaosHarness
+    from repro.hardware import FatTreeFabric
+
+    harness = ChaosHarness(get("core-link-failure"), seed=1)
+    assert isinstance(harness.fabric, FatTreeFabric)
+    assert harness.fabric.topology.k == 4
+
+
+def test_flat_scenarios_still_use_single_switch():
+    from repro.chaos.runner import ChaosHarness
+    from repro.hardware import Fabric, FatTreeFabric
+
+    harness = ChaosHarness(get("nic-loss-midflow"), seed=1)
+    assert type(harness.fabric) is Fabric
+    assert not isinstance(harness.fabric, FatTreeFabric)

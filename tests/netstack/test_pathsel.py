@@ -1,0 +1,229 @@
+"""Unit + property tests for ECMP/flowlet path selection."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RoutingError
+from repro.hardware import FatTreeFabric, FatTreeTopology, PhysicalNic
+from repro.netstack import PathSelector, ecmp_hash
+from repro.sim import Environment
+
+
+def _names(path):
+    return tuple(link.name for link in path)
+
+
+@pytest.fixture
+def topo(env):
+    return FatTreeTopology(env, k=4)
+
+
+@pytest.fixture
+def selector(topo):
+    return PathSelector(topo)
+
+
+# ---------------------------------------------------------------- hashing
+
+
+def test_ecmp_hash_is_sha256_derived():
+    digest = hashlib.sha256(b"1:2:agg").digest()
+    assert ecmp_hash(1, 2, "agg") == int.from_bytes(digest[:8], "big")
+    assert ecmp_hash("a") != ecmp_hash("b")
+
+
+def test_selector_validates_arguments(topo):
+    with pytest.raises(ValueError):
+        PathSelector(topo, flowlet_gap_s=0)
+    with pytest.raises(ValueError):
+        PathSelector(topo, max_flows=0)
+
+
+# ---------------------------------------------------------------- ECMP
+
+
+def test_route_is_deterministic_per_flow_key(env):
+    """Two fresh topologies give byte-identical paths for the same key."""
+    paths = []
+    for _ in range(2):
+        fresh_env = Environment()
+        topo = FatTreeTopology(fresh_env, k=4)
+        selector = PathSelector(topo)
+        paths.append([
+            _names(selector.route(0.0, topo.edges[0][0], topo.edges[1][1],
+                                  (0, 4, flow)).path)
+            for flow in range(32)
+        ])
+    assert paths[0] == paths[1]
+
+
+def test_same_edge_routes_empty_path(selector, topo):
+    edge = topo.edges[0][0]
+    assert selector.route(0.0, edge, edge, (0, 1)).path == ()
+
+
+def test_intra_pod_routes_two_hops(selector, topo):
+    src, dst = topo.edges[0][0], topo.edges[0][1]
+    path = selector.route(0.0, src, dst, (0, 2)).path
+    assert len(path) == 2
+    assert path[0].src is src and path[0].dst.kind == "agg"
+    assert path[1].dst is dst
+
+
+def test_inter_pod_routes_four_hops_up_over_down(selector, topo):
+    src, dst = topo.edges[0][0], topo.edges[2][1]
+    path = selector.route(0.0, src, dst, (0, 11)).path
+    kinds = [(link.src.kind, link.dst.kind) for link in path]
+    assert kinds == [("edge", "agg"), ("agg", "core"),
+                     ("core", "agg"), ("agg", "edge")]
+    assert path[1].src.pod == 0 and path[2].dst.pod == 2
+    # The up and down aggs share an index (the core's group).
+    assert path[1].src.index == path[2].dst.index
+
+
+def test_ecmp_spreads_uniformly_chi_square(selector, topo):
+    """Hash uniformity over the (k/2)^2 = 4 equal-cost paths.
+
+    400 synthetic flows, expected 100 per path; chi-square with 3
+    degrees of freedom must stay under the alpha=0.001 critical value
+    (16.27).  Deterministic: the flow keys are fixed.
+    """
+    src, dst = topo.edges[0][0], topo.edges[1][0]
+    counts: dict = {}
+    flows = 400
+    for flow in range(flows):
+        path = selector.route(0.0, src, dst, ("u", flow)).path
+        counts[_names(path)] = counts.get(_names(path), 0) + 1
+    assert len(counts) == 4
+    expected = flows / 4
+    chi2 = sum((n - expected) ** 2 / expected for n in counts.values())
+    assert chi2 < 16.27
+
+
+def test_routing_error_when_no_path_survives(selector, topo):
+    src, dst = topo.edges[0][0], topo.edges[1][0]
+    for agg in topo.pod_aggs(0):
+        topo.fail_cable(src.name, agg.name)
+    with pytest.raises(RoutingError):
+        selector.route(0.0, src, dst, (0, 4))
+
+
+def test_dead_links_are_excluded_from_candidates(selector, topo):
+    src, dst = topo.edges[0][0], topo.edges[1][0]
+    topo.fail_cable(src.name, "agg0.0")
+    for flow in range(16):
+        path = selector.route(0.0, src, dst, ("avoid", flow)).path
+        assert all(link.up for link in path)
+        assert path[0].dst.name == "agg0.1"
+
+
+# ---------------------------------------------------------------- flowlets
+
+
+def test_flowlet_rehash_only_after_idle_gap(selector, topo):
+    src, dst = topo.edges[0][0], topo.edges[3][0]
+    key = (0, 12)
+    gap = selector.flowlet_gap_s
+    first = selector.route(0.0, src, dst, key)
+    again = selector.route(gap * 0.5, src, dst, key)
+    assert again.flowlet_key == first.flowlet_key
+    assert again.path == first.path
+    assert selector.rehashes == 0
+    # Idle longer than the gap: new flowlet, sequence restarts.
+    later = selector.route(gap * 0.5 + gap * 1.5, src, dst, key)
+    assert selector.rehashes == 1
+    assert later.flowlet_key != first.flowlet_key
+    assert later.seq == 0
+
+
+def test_flowlet_sequence_increments_within_flowlet(selector, topo):
+    src, dst = topo.edges[0][0], topo.edges[3][0]
+    seqs = [selector.route(i * 1e-6, src, dst, (0, 13)).seq
+            for i in range(5)]
+    assert seqs == [0, 1, 2, 3, 4]
+
+
+def test_plain_ecmp_never_rehashes(topo):
+    selector = PathSelector(topo, flowlet_gap_s=None)
+    src, dst = topo.edges[0][0], topo.edges[1][0]
+    first = selector.route(0.0, src, dst, (0, 4))
+    later = selector.route(10.0, src, dst, (0, 4))
+    assert selector.rehashes == 0
+    assert later.path == first.path
+    assert later.flowlet_key == first.flowlet_key
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_flowlet_id_bumps_exactly_on_long_gaps(long_gaps):
+    """Property: the flowlet id advances once per idle gap > threshold,
+    never otherwise, regardless of the arrival pattern."""
+    env = Environment()
+    topo = FatTreeTopology(env, k=4)
+    selector = PathSelector(topo)
+    src, dst = topo.edges[0][0], topo.edges[1][0]
+    gap = selector.flowlet_gap_s
+    now = 0.0
+    selector.route(now, src, dst, ("p", 1))
+    for is_long in long_gaps:
+        now += gap * 2 if is_long else gap * 0.5
+        selector.route(now, src, dst, ("p", 1))
+    assert selector.rehashes == sum(long_gaps)
+    route = selector.route(now, src, dst, ("p", 1))
+    assert route.flowlet_key[1] == sum(long_gaps)
+
+
+def test_topology_change_ends_the_flowlet(selector, topo):
+    src, dst = topo.edges[0][0], topo.edges[1][0]
+    first = selector.route(0.0, src, dst, (0, 4))
+    topo.fail_cable("agg3.0", "core0.0")  # unrelated cable, version bump
+    second = selector.route(1e-6, src, dst, (0, 4))
+    assert second.flowlet_key != first.flowlet_key
+    assert second.flowlet_key[2] == topo.version
+
+
+# ---------------------------------------------------------------- bounds
+
+
+def test_flow_state_is_bounded_with_fifo_eviction(topo):
+    selector = PathSelector(topo, max_flows=4)
+    src, dst = topo.edges[0][0], topo.edges[1][0]
+    for flow in range(6):
+        selector.route(0.0, src, dst, ("e", flow))
+    assert selector.flow_count() == 4
+    assert selector.evictions == 2
+    selector.reset()
+    assert selector.flow_count() == 0
+
+
+# ---------------------------------------------------------------- fabric-level
+
+
+def test_path_assignments_are_byte_identical_across_runs():
+    """Same schedule, two fresh environments: identical per-link loads."""
+
+    def run_once():
+        env = Environment()
+        fabric = FatTreeFabric(env, k=4)
+        nics = [PhysicalNic(env) for _ in range(8)]
+        for nic in nics:
+            fabric.attach(nic)
+
+        def stream(src, dst, count):
+            def go():
+                for _ in range(count):
+                    yield from fabric.send(src, dst, 4096, lambda: None)
+            env.process(go())
+
+        stream(nics[0], nics[4], 25)
+        stream(nics[1], nics[5], 25)
+        stream(nics[2], nics[6], 25)
+        env.run()
+        return {
+            link.name: (link.assignments, link.pipe.bytes_moved)
+            for link in fabric.topology.links()
+        }
+
+    assert run_once() == run_once()
